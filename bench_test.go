@@ -1,0 +1,165 @@
+// Package bench holds the benchmark harness that regenerates the paper's
+// evaluation: one benchmark per figure cell and per in-text claim. Run
+//
+//	go test -bench=. -benchmem
+//
+// at the module root. Each iteration performs a complete sort of a fresh
+// simulated cluster's data and verifies the output; the reported ns/op is
+// the full sort's wall time under the calibrated latency models, so the
+// ratios between benchmarks reproduce the shape of Figure 8. cmd/fgexp
+// renders the same comparisons as the paper's stacked per-pass charts.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fg-go/fg/internal/harness"
+	"github.com/fg-go/fg/workload"
+)
+
+// benchParams scales the experiment to keep a full `go test -bench=.`
+// under a few minutes: 16 nodes, 2^18 records.
+func benchParams(recordSize int) harness.Params {
+	pr := harness.DefaultParams()
+	pr.TotalRecords = 1 << 18
+	pr.RecordSize = recordSize
+	pr.ColumnsPerNode = 2 // keeps the columnsort matrix tall at bench scale
+	return pr
+}
+
+// runSort is one benchmark body: repeat full verified sorts. One untimed
+// warmup run absorbs allocator growth so the timed iterations are stable.
+func runSort(b *testing.B, pr harness.Params, prog harness.Program, dist workload.Distribution, buffers int) {
+	b.Helper()
+	if _, err := pr.Run(prog, dist, buffers); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(pr.TotalRecords * int64(pr.RecordSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pr.Run(prog, dist, buffers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Total().Nanoseconds()), "sim-ns/sort")
+		}
+	}
+}
+
+// BenchmarkFig8a reproduces Figure 8(a): dsort vs csort, 16-byte records,
+// four key distributions.
+func BenchmarkFig8a(b *testing.B) {
+	pr := benchParams(16)
+	for _, dist := range workload.Distributions {
+		for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+			b.Run(fmt.Sprintf("%s/%s", sanitize(dist.String()), prog), func(b *testing.B) {
+				runSort(b, pr, prog, dist, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8b reproduces Figure 8(b): the same comparison with 64-byte
+// records.
+func BenchmarkFig8b(b *testing.B) {
+	pr := benchParams(64)
+	for _, dist := range workload.Distributions {
+		for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+			b.Run(fmt.Sprintf("%s/%s", sanitize(dist.String()), prog), func(b *testing.B) {
+				runSort(b, pr, prog, dist, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkSkew reproduces the in-text experiment on input distributions
+// designed to elicit highly unbalanced communication in dsort's pass 1.
+func BenchmarkSkew(b *testing.B) {
+	pr := benchParams(16)
+	for _, dist := range workload.SkewDistributions {
+		for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+			b.Run(fmt.Sprintf("%s/%s", sanitize(dist.String()), prog), func(b *testing.B) {
+				runSort(b, pr, prog, dist, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkLinearAblation reproduces the Section VIII question: dsort with
+// FG's multiple pipelines versus dsort restricted to a single linear
+// pipeline per node.
+func BenchmarkLinearAblation(b *testing.B) {
+	// The I/O-bound ablation calibration (see harness.AblationParams and
+	// EXPERIMENTS.md): fewer simulated nodes so host compute does not mask
+	// the latency hiding under test.
+	pr := harness.AblationParams()
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.SkewOneNode} {
+		for _, prog := range []harness.Program{harness.Dsort, harness.DsortLinear} {
+			b.Run(fmt.Sprintf("%s/%s", sanitize(dist.String()), prog), func(b *testing.B) {
+				runSort(b, pr, prog, dist, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkOverlap measures what FG's buffer pool buys: pool size 1
+// serializes each pipeline's stages (no overlap), the default pool
+// overlaps them.
+func BenchmarkOverlap(b *testing.B) {
+	pr := harness.AblationParams()
+	for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+		for _, cfg := range []struct {
+			name    string
+			buffers int
+		}{{"pipelined", 0}, {"serialized", 1}} {
+			b.Run(fmt.Sprintf("%s/%s", prog, cfg.name), func(b *testing.B) {
+				runSort(b, pr, prog, workload.Uniform, cfg.buffers)
+			})
+		}
+	}
+}
+
+// BenchmarkPassCoalescing reproduces the Section III observation: the
+// three-pass csort against the four-pass implementation it coalesced.
+func BenchmarkPassCoalescing(b *testing.B) {
+	pr := benchParams(16)
+	for _, prog := range []harness.Program{harness.Csort, harness.Csort4} {
+		b.Run(string(prog), func(b *testing.B) {
+			runSort(b, pr, prog, workload.Uniform, 0)
+		})
+	}
+}
+
+// BenchmarkIOVolume reports the disk traffic of both programs as ancillary
+// metrics (bytes moved per data byte), reproducing the claim that csort
+// performs roughly 50% more disk I/O.
+func BenchmarkIOVolume(b *testing.B) {
+	pr := benchParams(16)
+	data := float64(pr.TotalRecords * int64(pr.RecordSize))
+	for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+		b.Run(string(prog), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := pr.Run(prog, workload.Uniform, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = float64(res.Disk.TotalBytes())
+			}
+			b.ReportMetric(last/data, "diskbytes/databyte")
+		})
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '-'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import "fmt"
+
+// Any-source receives, the analogue of MPI_Recv with MPI_ANY_SOURCE.
+// dsort's receive stages cannot know which node will send next — the whole
+// point of its unbalanced communication — so they pull from a per-tag
+// mailbox that merges all senders.
+
+// anyMessage is a payload with its source rank attached.
+type anyMessage struct {
+	src  int
+	data []byte
+}
+
+type anyMailboxKey struct {
+	tag int64
+}
+
+// anyMailbox returns (creating if needed) the any-source channel for tag.
+func (n *Node) anyMailbox(tag int64) chan anyMessage {
+	n.anyMu.Lock()
+	defer n.anyMu.Unlock()
+	if n.anyBoxes == nil {
+		n.anyBoxes = make(map[anyMailboxKey]chan anyMessage)
+	}
+	key := anyMailboxKey{tag}
+	mb := n.anyBoxes[key]
+	if mb == nil {
+		mb = make(chan anyMessage, n.cluster.cfg.MailboxDepth)
+		n.anyBoxes[key] = mb
+	}
+	return mb
+}
+
+// SendAny transmits a copy of data to dst's any-source mailbox for tag.
+// Messages sent with SendAny are received only by RecvAny; they do not mix
+// with Send/Recv traffic.
+func (n *Node) SendAny(dst int, tag int64, data []byte) {
+	if dst < 0 || dst >= n.P() {
+		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
+	}
+	msg := make([]byte, len(data))
+	copy(msg, data)
+
+	if dst != n.rank {
+		cost := n.cluster.cfg.Network.Cost(len(data))
+		n.nic.Charge(cost)
+		n.mu.Lock()
+		n.stats.SendBusy += cost
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(len(data))
+	n.mu.Unlock()
+
+	n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, data: msg}
+}
+
+// RecvAny blocks until any node's SendAny for this tag arrives, returning
+// the sender's rank and the payload.
+func (n *Node) RecvAny(tag int64) (src int, data []byte) {
+	msg := <-n.anyMailbox(tag)
+	n.mu.Lock()
+	n.stats.MessagesRecvd++
+	n.stats.BytesRecvd += int64(len(msg.data))
+	n.mu.Unlock()
+	return msg.src, msg.data
+}
+
+// SendAny transmits data to dst's any-source mailbox under this Comm's tag
+// space.
+func (c *Comm) SendAny(dst int, tag int64, data []byte) {
+	c.n.SendAny(dst, c.p2pBase+tag, data)
+}
+
+// RecvAny receives the next any-source message for tag in this Comm's tag
+// space.
+func (c *Comm) RecvAny(tag int64) (src int, data []byte) {
+	return c.n.RecvAny(c.p2pBase + tag)
+}
+
+// TryRecvAny returns a pending any-source message for tag, if one is
+// waiting. Single-pipeline programs use it to interleave draining incoming
+// data with their other duties — the bookkeeping burden the paper ascribes
+// to forgoing multiple pipelines.
+func (n *Node) TryRecvAny(tag int64) (src int, data []byte, ok bool) {
+	select {
+	case msg := <-n.anyMailbox(tag):
+		n.mu.Lock()
+		n.stats.MessagesRecvd++
+		n.stats.BytesRecvd += int64(len(msg.data))
+		n.mu.Unlock()
+		return msg.src, msg.data, true
+	default:
+		return 0, nil, false
+	}
+}
+
+// TryRecvAny is the Comm-scoped form of Node.TryRecvAny.
+func (c *Comm) TryRecvAny(tag int64) (src int, data []byte, ok bool) {
+	return c.n.TryRecvAny(c.p2pBase + tag)
+}

@@ -1,0 +1,264 @@
+// Package cluster simulates the distributed-memory cluster the paper ran
+// on: P nodes, each with its own disk, connected by an interconnect with
+// latency and bandwidth. Node programs are ordinary Go functions; the
+// goroutines of one node's FG pipelines communicate with other nodes
+// through a thread-safe, MPI-like message-passing interface (the paper used
+// ChaMPIon/Pro, a thread-safe commercial MPI, for the same reason: FG runs
+// one thread per pipeline stage, and several stages may communicate at
+// once).
+//
+// The network model charges each message a fixed latency plus a
+// size-proportional transfer time, and serializes the transfers of each
+// sending node as a single NIC would. A goroutine paying the cost sleeps,
+// which — just like a pthread blocked in MPI_Send — yields the processor to
+// the node's other pipeline stages. That preserved blocking behaviour is
+// what lets FG's pipelines overlap communication with I/O and computation,
+// so it is the property the simulation takes care to keep.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fg-go/fg/pdm"
+)
+
+// NetworkModel gives the simulated cost of interprocessor communication.
+type NetworkModel struct {
+	// Latency is charged once per message.
+	Latency time.Duration
+	// BytesPerSecond is the per-link transfer rate; zero means transfers
+	// are free and only latency is charged.
+	BytesPerSecond float64
+}
+
+// Cost returns the simulated duration of sending one message of n bytes.
+func (m NetworkModel) Cost(n int) time.Duration {
+	d := m.Latency
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(n) / m.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// NullNetworkModel charges nothing; useful in unit tests.
+var NullNetworkModel = NetworkModel{}
+
+// DefaultNetworkModel approximates the paper's 2 Gb/s Myrinet, scaled for
+// laptop-sized experiments: 30 us latency, 250 MB/s per link.
+var DefaultNetworkModel = NetworkModel{
+	Latency:        30 * time.Microsecond,
+	BytesPerSecond: 250e6,
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is P, the number of nodes.
+	Nodes int
+	// Disk is the cost model for every node's disk.
+	Disk pdm.DiskModel
+	// Network is the interconnect cost model.
+	Network NetworkModel
+	// MailboxDepth bounds how many undelivered messages one (source, tag)
+	// mailbox buffers before further sends to it block. Zero selects a
+	// generous default.
+	MailboxDepth int
+}
+
+const defaultMailboxDepth = 1024
+
+// A Cluster is a set of simulated nodes sharing an interconnect.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// New builds a cluster of cfg.Nodes nodes. It panics if cfg.Nodes < 1.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("cluster: invalid node count %d", cfg.Nodes))
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = defaultMailboxDepth
+	}
+	c := &Cluster{cfg: cfg}
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = &Node{
+			rank:      i,
+			cluster:   c,
+			Disk:      pdm.NewDisk(cfg.Disk),
+			mailboxes: make(map[mailboxKey]chan []byte),
+		}
+	}
+	return c
+}
+
+// P returns the number of nodes.
+func (c *Cluster) P() int { return c.cfg.Nodes }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Disks returns the nodes' disks indexed by rank, for tools and verifiers
+// that inspect the whole simulated machine from outside.
+func (c *Cluster) Disks() []*pdm.Disk {
+	out := make([]*pdm.Disk, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Disk
+	}
+	return out
+}
+
+// Run executes fn once per node, each invocation on its own goroutine, and
+// waits for all of them. It returns the first non-nil error. A panic on a
+// node goroutine is recovered and reported as that node's error.
+func (c *Cluster) Run(fn func(*Node) error) error {
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = fn(n)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CommStats accumulates one node's traffic counters.
+type CommStats struct {
+	MessagesSent  int64
+	BytesSent     int64
+	MessagesRecvd int64
+	BytesRecvd    int64
+	// SendBusy is the total simulated time this node's NIC spent
+	// transmitting.
+	SendBusy time.Duration
+}
+
+// A Node is one simulated cluster node. Its methods are safe for use from
+// any number of the node's goroutines concurrently.
+type Node struct {
+	rank    int
+	cluster *Cluster
+	Disk    *pdm.Disk
+
+	mu        sync.Mutex
+	mailboxes map[mailboxKey]chan []byte
+	stats     CommStats
+
+	anyMu    sync.Mutex
+	anyBoxes map[anyMailboxKey]chan anyMessage
+
+	nic pdm.CostGate // serializes simulated transmit time, one NIC per node
+}
+
+type mailboxKey struct {
+	src int
+	tag int64
+}
+
+// Rank returns this node's rank in [0, P).
+func (n *Node) Rank() int { return n.rank }
+
+// P returns the cluster size.
+func (n *Node) P() int { return n.cluster.cfg.Nodes }
+
+// Cluster returns the cluster this node belongs to.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Stats returns a snapshot of the node's communication counters.
+func (n *Node) Stats() CommStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the node's communication counters.
+func (n *Node) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = CommStats{}
+}
+
+// mailbox returns (creating if needed) the channel buffering messages from
+// src with the given tag.
+func (n *Node) mailbox(src int, tag int64) chan []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := mailboxKey{src, tag}
+	mb := n.mailboxes[key]
+	if mb == nil {
+		mb = make(chan []byte, n.cluster.cfg.MailboxDepth)
+		n.mailboxes[key] = mb
+	}
+	return mb
+}
+
+// Send transmits a copy of data to node dst with the given tag. It blocks
+// for the simulated transfer duration (self-sends are free, as through
+// shared memory). After Send returns the caller may reuse data.
+func (n *Node) Send(dst int, tag int64, data []byte) {
+	if dst < 0 || dst >= n.P() {
+		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
+	}
+	msg := make([]byte, len(data))
+	copy(msg, data)
+
+	if dst != n.rank {
+		cost := n.cluster.cfg.Network.Cost(len(data))
+		n.nic.Charge(cost)
+		n.mu.Lock()
+		n.stats.SendBusy += cost
+		n.mu.Unlock()
+	}
+
+	n.mu.Lock()
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(len(data))
+	n.mu.Unlock()
+
+	n.cluster.nodes[dst].mailbox(n.rank, tag) <- msg
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload.
+func (n *Node) Recv(src int, tag int64) []byte {
+	if src < 0 || src >= n.P() {
+		panic(fmt.Sprintf("cluster: node %d receiving from invalid rank %d", n.rank, src))
+	}
+	msg := <-n.mailbox(src, tag)
+	n.mu.Lock()
+	n.stats.MessagesRecvd++
+	n.stats.BytesRecvd += int64(len(msg))
+	n.mu.Unlock()
+	return msg
+}
+
+// TryRecv returns a pending message from src with the given tag, or
+// (nil, false) if none is waiting.
+func (n *Node) TryRecv(src int, tag int64) ([]byte, bool) {
+	select {
+	case msg := <-n.mailbox(src, tag):
+		n.mu.Lock()
+		n.stats.MessagesRecvd++
+		n.stats.BytesRecvd += int64(len(msg))
+		n.mu.Unlock()
+		return msg, true
+	default:
+		return nil, false
+	}
+}

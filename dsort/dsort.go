@@ -1,0 +1,133 @@
+// Package dsort implements the paper's out-of-core distribution sort. A
+// preprocessing phase selects splitters by oversampling; pass 1 partitions
+// and distributes the records among the nodes, leaving sorted runs on each
+// node's disk; pass 2 merges each node's runs and load-balances and stripes
+// the output across the cluster.
+//
+// dsort is the program the paper built FG's multiple-pipeline extensions
+// for. Pass 1 runs disjoint send and receive pipelines on each node,
+// because the rate at which a node sends records almost certainly differs
+// from the rate at which it receives them (Figure 6). Pass 2 runs one
+// virtual vertical pipeline per sorted run, all intersecting at a merge
+// stage that feeds a horizontal pipeline, whose send stage disperses the
+// merged records to the nodes owning their striped blocks; a disjoint
+// receive pipeline accepts and writes them (Figure 7).
+package dsort
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/oocsort"
+)
+
+// Config parameterizes a dsort run. All sizes are in records.
+type Config struct {
+	Spec oocsort.Spec
+
+	// RunRecords is the length of the sorted runs pass 1 creates, which is
+	// also the buffer size of both pass-1 pipelines (the paper uses equal
+	// buffer sizes in the send and receive pipelines).
+	RunRecords int
+	// MergeRecords is the buffer size of pass 2's vertical pipelines.
+	// Vertical buffers are small — there may be many vertical pipelines —
+	// while each sorted run is many times this size.
+	MergeRecords int
+	// OutRecords is the buffer size of pass 2's horizontal and receive
+	// pipelines, typically much larger than MergeRecords (Section IV).
+	OutRecords int
+	// Oversample is the per-boundary sampling factor of the splitter phase.
+	Oversample int
+	// Buffers is the pool size of every non-vertical pipeline; vertical
+	// pipelines use two buffers each. The overlap ablation sets it to 1.
+	Buffers int
+}
+
+// DefaultConfig returns buffer sizes tuned the way the paper describes:
+// pass-1 buffers equal in both pipelines, small vertical buffers, large
+// horizontal buffers.
+func DefaultConfig(spec oocsort.Spec, p int) Config {
+	perNode := int(spec.PerNode(p))
+	run := perNode / 8
+	if run < 1 {
+		run = perNode
+	}
+	if run < 1 {
+		run = 1
+	}
+	merge := run / 4
+	if merge < 1 {
+		merge = 1
+	}
+	out := spec.RecordsPerBlock
+	if out < 1024 {
+		out = 1024
+	}
+	return Config{
+		Spec:         spec,
+		RunRecords:   run,
+		MergeRecords: merge,
+		OutRecords:   out,
+		Oversample:   0, // splitter.DefaultOversample
+		Buffers:      4,
+	}
+}
+
+// Validate checks the configuration against a cluster of p nodes.
+func (cfg Config) Validate(p int) error {
+	if err := cfg.Spec.Validate(p); err != nil {
+		return err
+	}
+	if cfg.RunRecords < 1 || cfg.MergeRecords < 1 || cfg.OutRecords < 1 {
+		return fmt.Errorf("dsort: buffer sizes must be positive: run=%d merge=%d out=%d",
+			cfg.RunRecords, cfg.MergeRecords, cfg.OutRecords)
+	}
+	if cfg.Buffers < 1 {
+		return fmt.Errorf("dsort: need at least one buffer per pipeline, got %d", cfg.Buffers)
+	}
+	return nil
+}
+
+// runsFile is the per-node file holding pass 1's sorted runs; run i
+// occupies the fixed slot [i*RunRecords, ...) so partial final runs leave
+// gaps rather than shifting their successors.
+const runsFile = "dsort.runs"
+
+// Run executes dsort on one node; call it from every node of the cluster
+// inside cluster.Run. It returns the node's per-phase timings (barriers
+// align the phases, so every node reports cluster-wide times).
+func Run(n *cluster.Node, cfg Config) (oocsort.Result, error) {
+	res := oocsort.Result{Program: "dsort"}
+	if err := cfg.Validate(n.P()); err != nil {
+		return res, err
+	}
+	barrier := n.Comm("dsort.barrier")
+
+	barrier.Barrier()
+	start := time.Now()
+	splitters, err := selectSplitters(n, cfg)
+	if err != nil {
+		return res, fmt.Errorf("dsort: sampling on node %d: %w", n.Rank(), err)
+	}
+	barrier.Barrier()
+	res.Passes = append(res.Passes, oocsort.PassTiming{Name: "sampling", Duration: time.Since(start)})
+
+	start = time.Now()
+	runLens, err := pass1(n, cfg, splitters)
+	if err != nil {
+		return res, fmt.Errorf("dsort: pass 1 on node %d: %w", n.Rank(), err)
+	}
+	barrier.Barrier()
+	res.Passes = append(res.Passes, oocsort.PassTiming{Name: "pass1", Duration: time.Since(start)})
+
+	start = time.Now()
+	if err := pass2(n, cfg, runLens); err != nil {
+		return res, fmt.Errorf("dsort: pass 2 on node %d: %w", n.Rank(), err)
+	}
+	barrier.Barrier()
+	res.Passes = append(res.Passes, oocsort.PassTiming{Name: "pass2", Duration: time.Since(start)})
+
+	n.Disk.Remove(runsFile)
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package dsort
+
+import (
+	"fmt"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/internal/sortalgo"
+	"github.com/fg-go/fg/internal/splitter"
+	"github.com/fg-go/fg/records"
+)
+
+// selectSplitters runs the preprocessing phase: every node samples its
+// local input at random positions (paying the single-record disk reads) and
+// the cluster agrees on P-1 extended-key splitters.
+func selectSplitters(n *cluster.Node, cfg Config) ([]records.ExtKey, error) {
+	f := cfg.Spec.Format
+	comm := n.Comm("dsort.sample")
+	rec := make([]byte, f.Size)
+	return splitter.Select(comm, cfg.Spec.PerNode(n.P()), func(idx int64) (uint64, error) {
+		if err := n.Disk.ReadAt(cfg.Spec.InputName, rec, idx*int64(f.Size)); err != nil {
+			return 0, err
+		}
+		return f.Key(rec), nil
+	}, cfg.Oversample, cfg.Spec.Seed)
+}
+
+// permuteStage returns the round function that rearranges a buffer so that
+// records of the same partition are contiguous: a counting sort on the
+// partition index, out of place through the auxiliary buffer (the FG
+// feature the paper's permute stage relies on). The extended key — (key,
+// origin node, input position) — decides each record's partition; it never
+// becomes part of the record. The per-partition counts travel with the
+// buffer as its Meta.
+func permuteStage(f records.Format, p, rank, bufRecs int, splitters []records.ExtKey) fg.RoundFunc {
+	size := f.Size
+	return func(ctx *fg.Ctx, b *fg.Buffer) error {
+		cnt := f.Count(b.N)
+		base := int64(b.Round) * int64(bufRecs)
+		counts := make([]int, p)
+		parts := make([]uint16, cnt)
+		for i := 0; i < cnt; i++ {
+			e := records.ExtKey{Key: f.KeyAt(b.Data, i), Node: uint32(rank), Seq: uint64(base) + uint64(i)}
+			d := splitter.Partition(splitters, e)
+			parts[i] = uint16(d)
+			counts[d]++
+		}
+		offsets := make([]int, p)
+		pos := 0
+		for d := 0; d < p; d++ {
+			offsets[d] = pos
+			pos += counts[d]
+		}
+		aux := b.Aux()
+		for i := 0; i < cnt; i++ {
+			d := parts[i]
+			copy(aux[offsets[d]*size:], b.Data[i*size:(i+1)*size])
+			offsets[d]++
+		}
+		b.SwapAux()
+		b.Meta = counts
+		return nil
+	}
+}
+
+// pass1 partitions and distributes the records (Figure 6): a send pipeline
+// (read -> permute -> send) and a disjoint receive pipeline (receive ->
+// sort -> write) run concurrently on each node. It returns the lengths of
+// the sorted runs this node's receive pipeline wrote.
+func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, error) {
+	f := cfg.Spec.Format
+	size := f.Size
+	p, rank := n.P(), n.Rank()
+	perNode := cfg.Spec.PerNode(p)
+	bufRecs := cfg.RunRecords
+	bufBytes := f.Bytes(bufRecs)
+	sendRounds := int((perNode + int64(bufRecs) - 1) / int64(bufRecs))
+	comm := n.Comm("dsort.p1")
+	const tagData = 1
+
+	nw := fg.NewNetwork(fmt.Sprintf("dsort.p1@%d", rank))
+
+	send := nw.AddPipeline("send",
+		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Rounds(sendRounds))
+	send.AddStage("read", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		off := int64(b.Round) * int64(bufRecs)
+		cnt := int64(bufRecs)
+		if off+cnt > perNode {
+			cnt = perNode - off
+		}
+		b.N = f.Bytes(int(cnt))
+		return n.Disk.ReadAt(cfg.Spec.InputName, b.Data[:b.N], off*int64(size))
+	})
+	send.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters))
+	send.AddStage("send", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		counts := b.Meta.([]int)
+		off := 0
+		for d := 0; d < p; d++ {
+			if counts[d] > 0 {
+				comm.SendAny(d, tagData, b.Data[off:off+f.Bytes(counts[d])])
+				off += f.Bytes(counts[d])
+			}
+		}
+		if b.Round == sendRounds-1 {
+			// Tell every node this sender is done (zero-length marker).
+			for d := 0; d < p; d++ {
+				comm.SendAny(d, tagData, nil)
+			}
+		}
+		return nil
+	})
+
+	recv := nw.AddPipeline("receive",
+		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Unlimited())
+	var runLens []int
+	recv.AddFreeStage("receive", func(ctx *fg.Ctx) error {
+		b, ok := ctx.Accept()
+		if !ok {
+			return fmt.Errorf("receive pipeline has no buffers")
+		}
+		for done := 0; done < p; {
+			_, msg := comm.RecvAny(tagData)
+			if len(msg) == 0 {
+				done++
+				continue
+			}
+			for len(msg) > 0 {
+				c := copy(b.Data[b.N:], msg)
+				b.N += c
+				msg = msg[c:]
+				if b.N == b.Cap() {
+					ctx.Convey(b)
+					if b, ok = ctx.Accept(); !ok {
+						return fmt.Errorf("receive pipeline dried up")
+					}
+				}
+			}
+		}
+		if b.N > 0 {
+			ctx.Convey(b)
+		}
+		return nil
+	})
+	recv.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		// Each full buffer becomes one sorted run, ordered by the records'
+		// original (non-extended) keys.
+		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		return nil
+	})
+	recv.AddStage("write", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		if b.Round != len(runLens) {
+			return fmt.Errorf("run %d written out of order (have %d runs)", b.Round, len(runLens))
+		}
+		runLens = append(runLens, f.Count(b.N))
+		return n.Disk.WriteAt(runsFile, b.Bytes(), int64(b.Round)*int64(bufBytes))
+	})
+
+	if err := nw.Run(); err != nil {
+		return nil, err
+	}
+	return runLens, nil
+}

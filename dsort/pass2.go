@@ -1,0 +1,231 @@
+package dsort
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/mergetree"
+)
+
+// pass2 merges this node's sorted runs into one sorted stream, then
+// load-balances and stripes it across the cluster (Figure 7). The vertical
+// pipelines — one per run, virtual so k runs cost one thread per stage —
+// intersect at the merge stage, which fills buffers of the horizontal
+// pipeline; the horizontal send stage disperses each merged block to the
+// node owning its striped location; and a disjoint receive pipeline
+// accepts incoming pieces and writes them to the local share of the output.
+func pass2(n *cluster.Node, cfg Config, runLens []int) error {
+	f := cfg.Spec.Format
+	size := f.Size
+	p, rank := n.P(), n.Rank()
+	comm := n.Comm("dsort.p2")
+	coll := n.Comm("dsort.p2coll")
+	const tagOut = 1
+
+	// Exchange partition sizes so every node knows where its merged stream
+	// begins in the global sorted order — the basis of the load-balancing.
+	var partRecs int64
+	for _, l := range runLens {
+		partRecs += int64(l)
+	}
+	var wire [8]byte
+	binary.BigEndian.PutUint64(wire[:], uint64(partRecs))
+	sizes := coll.Allgather(wire[:])
+	var start, total int64
+	for r, w := range sizes {
+		v := int64(binary.BigEndian.Uint64(w))
+		if r < rank {
+			start += v
+		}
+		total += v
+	}
+	if total != cfg.Spec.TotalRecords {
+		return fmt.Errorf("partitions hold %d records, want %d", total, cfg.Spec.TotalRecords)
+	}
+
+	out := cfg.Spec.Output(p)
+	totalBytes := cfg.Spec.TotalBytes()
+	expectedLocal := out.LocalBytes(totalBytes, rank)
+
+	vBufBytes := f.Bytes(cfg.MergeRecords)
+	hBufBytes := f.Bytes(cfg.OutRecords)
+	hRounds := int((partRecs + int64(cfg.OutRecords) - 1) / int64(cfg.OutRecords))
+
+	nw := fg.NewNetwork(fmt.Sprintf("dsort.p2@%d", rank))
+
+	// Vertical pipelines: one per sorted run, reading the run in small
+	// chunks. All are members of one virtual group, so FG serves their
+	// read stages (and sources and sinks) with single threads.
+	k := len(runLens)
+	verticals := make([]*fg.Pipeline, k)
+	runBytes := f.Bytes(cfg.RunRecords)
+	if k > 0 {
+		vg := nw.AddVirtualGroup("runs")
+		for i := 0; i < k; i++ {
+			i := i
+			lenBytes := f.Bytes(runLens[i])
+			rounds := (lenBytes + vBufBytes - 1) / vBufBytes
+			verticals[i] = vg.AddPipeline(fmt.Sprintf("run%d", i),
+				fg.Buffers(3), fg.BufferBytes(vBufBytes), fg.Rounds(rounds))
+			verticals[i].AddStage("read", func(ctx *fg.Ctx, b *fg.Buffer) error {
+				off := b.Round * vBufBytes
+				cnt := vBufBytes
+				if off+cnt > lenBytes {
+					cnt = lenBytes - off
+				}
+				b.N = cnt
+				return n.Disk.ReadAt(runsFile, b.Data[:cnt], int64(i)*int64(runBytes)+int64(off))
+			})
+		}
+	}
+
+	horiz := nw.AddPipeline("horizontal",
+		fg.Buffers(cfg.Buffers), fg.BufferBytes(hBufBytes), fg.Rounds(hRounds))
+
+	merge := fg.NewStage("merge", func(ctx *fg.Ctx) error {
+		// Repeatedly choose the smallest key not yet chosen among the
+		// buffers accepted along the vertical pipelines, copying it into
+		// the next position of the output buffer from the horizontal
+		// pipeline's source.
+		heads := make([]*fg.Buffer, k)
+		idx := make([]int, k)
+		tree := mergetree.New(k + 1) // k may be 0; the tree needs >= 1 leaf
+		advance := func(i int) error {
+			if heads[i] != nil {
+				ctx.Convey(heads[i]) // spent input buffer, to its own sink
+			}
+			if b, ok := ctx.AcceptFrom(verticals[i]); ok {
+				heads[i] = b
+				idx[i] = 0
+				tree.Set(i, f.KeyAt(b.Data, 0))
+			} else {
+				heads[i] = nil
+				tree.Close(i)
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			if err := advance(i); err != nil {
+				return err
+			}
+		}
+		var ob *fg.Buffer
+		for {
+			i, _, ok := tree.Min()
+			if !ok {
+				break
+			}
+			if ob == nil {
+				b, ok := ctx.AcceptFrom(horiz)
+				if !ok {
+					return fmt.Errorf("horizontal pipeline dried up with records remaining")
+				}
+				ob = b
+			}
+			copy(ob.Data[ob.N:], heads[i].Data[idx[i]*size:(idx[i]+1)*size])
+			ob.N += size
+			if ob.N == ob.Cap() {
+				ctx.Convey(ob)
+				ob = nil
+			}
+			idx[i]++
+			if idx[i]*size == heads[i].N {
+				if err := advance(i); err != nil {
+					return err
+				}
+			} else {
+				tree.Set(i, f.KeyAt(heads[i].Data, idx[i]))
+			}
+		}
+		if ob != nil && ob.N > 0 {
+			ctx.Convey(ob)
+		}
+		return nil
+	})
+	for _, v := range verticals {
+		v.Add(merge)
+	}
+	horiz.Add(merge)
+
+	horiz.AddFreeStage("send", func(ctx *fg.Ctx) error {
+		// The merged stream's global byte offset starts at this node's
+		// partition start; each extent goes to the disk owning its striped
+		// block, framed as [8-byte local offset | payload].
+		gOff := start * int64(size)
+		for {
+			b, ok := ctx.Accept()
+			if !ok {
+				break
+			}
+			for _, e := range out.Extents(gOff, b.N) {
+				msg := make([]byte, 8+e.Length)
+				binary.BigEndian.PutUint64(msg, uint64(e.LocalOff))
+				rel := e.GlobalOff - gOff
+				copy(msg[8:], b.Data[rel:rel+int64(e.Length)])
+				comm.SendAny(e.Disk, tagOut, msg)
+			}
+			gOff += int64(b.N)
+			ctx.Convey(b)
+		}
+		for d := 0; d < p; d++ {
+			comm.SendAny(d, tagOut, nil)
+		}
+		return nil
+	})
+
+	// Disjoint receive pipeline: buffers sized to hold whole incoming
+	// extents plus their framing.
+	recv := nw.AddPipeline("receive",
+		fg.Buffers(cfg.Buffers), fg.BufferBytes(hBufBytes+4096), fg.Unlimited())
+	recv.AddFreeStage("receive", func(ctx *fg.Ctx) error {
+		b, ok := ctx.Accept()
+		if !ok {
+			return fmt.Errorf("receive pipeline has no buffers")
+		}
+		var got int64
+		for done := 0; done < p; {
+			_, msg := comm.RecvAny(tagOut)
+			if len(msg) == 0 {
+				done++
+				continue
+			}
+			got += int64(len(msg) - 8)
+			framed := 4 + len(msg)
+			if b.N+framed > b.Cap() {
+				ctx.Convey(b)
+				if b, ok = ctx.Accept(); !ok {
+					return fmt.Errorf("receive pipeline dried up")
+				}
+			}
+			if framed > b.Cap() {
+				return fmt.Errorf("extent of %d bytes exceeds receive buffer", len(msg))
+			}
+			binary.BigEndian.PutUint32(b.Data[b.N:], uint32(len(msg)))
+			copy(b.Data[b.N+4:], msg)
+			b.N += framed
+		}
+		if b.N > 0 {
+			ctx.Convey(b)
+		}
+		if got != expectedLocal {
+			return fmt.Errorf("received %d output bytes, want %d", got, expectedLocal)
+		}
+		return nil
+	})
+	recv.AddStage("write", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		for pos := 0; pos < b.N; {
+			mlen := int(binary.BigEndian.Uint32(b.Data[pos:]))
+			off := int64(binary.BigEndian.Uint64(b.Data[pos+4:]))
+			payload := b.Data[pos+12 : pos+4+mlen]
+			if err := n.Disk.WriteAt(cfg.Spec.OutputName, payload, off); err != nil {
+				return err
+			}
+			pos += 4 + mlen
+		}
+		return nil
+	})
+
+	return nw.Run()
+}

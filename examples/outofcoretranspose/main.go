@@ -1,0 +1,60 @@
+// Outofcoretranspose: FG beyond sorting (paper, Section VIII). Transposes
+// an out-of-core matrix distributed across a simulated cluster with a
+// read -> permute -> communicate -> write pipeline per node — the same
+// balanced, predetermined structure as a csort pass — and verifies every
+// element landed transposed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/pdm"
+	"github.com/fg-go/fg/transpose"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 4, "cluster size P")
+		rows  = flag.Int("rows", 1024, "matrix rows")
+		cols  = flag.Int("cols", 512, "matrix columns")
+		band  = flag.Int("band", 64, "rows per pipeline round")
+	)
+	flag.Parse()
+
+	s := transpose.DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = *rows, *cols, *band
+
+	c := cluster.New(cluster.Config{
+		Nodes:   *nodes,
+		Disk:    pdm.DiskModel{SeekLatency: 200 * time.Microsecond, BytesPerSecond: 20e6},
+		Network: cluster.NetworkModel{Latency: 30 * time.Microsecond, BytesPerSecond: 100e6},
+	})
+
+	fill := func(row, col int) uint64 { return uint64(row)<<20 | uint64(col) }
+	if err := transpose.Generate(c, s, fill); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	err := c.Run(func(n *cluster.Node) error { return transpose.Run(n, s) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if err := transpose.Verify(c, s, fill); err != nil {
+		log.Fatal(err)
+	}
+	var io int64
+	for _, d := range c.Disks() {
+		io += d.Stats().TotalBytes()
+	}
+	fmt.Printf("transposed a %dx%d matrix (%d KiB) on %d nodes in %v\n",
+		s.Rows, s.Cols, s.Rows*s.Cols*s.Format.Size>>10, *nodes, elapsed.Round(time.Millisecond))
+	fmt.Printf("disk traffic %d bytes (2.0x the data: one read, one write per element)\n", io)
+	fmt.Println("output verified: every element (r,c) now lives at (c,r)")
+}

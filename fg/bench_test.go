@@ -1,0 +1,96 @@
+package fg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPipeline measures raw framework overhead: rounds through a pipeline
+// of trivial stages.
+func benchPipeline(b *testing.B, stages, buffers int) {
+	b.Helper()
+	nw := NewNetwork("bench")
+	p := nw.AddPipeline("main", Buffers(buffers), BufferBytes(64), Rounds(b.N))
+	for s := 0; s < stages; s++ {
+		p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	}
+	b.ResetTimer()
+	if err := nw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPipelineRound3Stages(b *testing.B)   { benchPipeline(b, 3, 4) }
+func BenchmarkPipelineRound8Stages(b *testing.B)   { benchPipeline(b, 8, 4) }
+func BenchmarkPipelineRoundOneBuffer(b *testing.B) { benchPipeline(b, 3, 1) }
+
+// BenchmarkVirtualGroup measures the shared-thread dispatch of k virtual
+// pipelines against the same rounds through plain pipelines.
+func BenchmarkVirtualGroup(b *testing.B) {
+	for _, k := range []int{4, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rounds := b.N/k + 1
+			nw := NewNetwork("bench")
+			vg := nw.AddVirtualGroup("g")
+			for i := 0; i < k; i++ {
+				p := vg.AddPipeline(fmt.Sprintf("p%d", i), Buffers(2), BufferBytes(8), Rounds(rounds))
+				p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+			}
+			b.ResetTimer()
+			if err := nw.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkForkJoin measures fork routing plus join collapse overhead.
+func BenchmarkForkJoin(b *testing.B) {
+	nw := NewNetwork("bench")
+	p := nw.AddPipeline("main", Buffers(4), BufferBytes(8), Rounds(b.N))
+	p.AddStage("produce", func(ctx *Ctx, b *Buffer) error { return nil })
+	fork := p.AddFork("route", 2, func(ctx *Ctx, b *Buffer) (int, error) { return b.Round & 1, nil })
+	fork.Branch(0).AddStage("a", func(ctx *Ctx, b *Buffer) error { return nil })
+	fork.Branch(1).AddStage("b", func(ctx *Ctx, b *Buffer) error { return nil })
+	fork.Join()
+	b.ResetTimer()
+	if err := nw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIntersectingAccept measures the merge-style AcceptFrom path with
+// held-buffer bookkeeping across 8 virtual inputs.
+func BenchmarkIntersectingAccept(b *testing.B) {
+	const k = 8
+	nw := NewNetwork("bench")
+	vg := nw.AddVirtualGroup("in")
+	rounds := b.N/k + 1
+	pipes := make([]*Pipeline, k)
+	for i := 0; i < k; i++ {
+		pipes[i] = vg.AddPipeline(fmt.Sprintf("p%d", i), Buffers(2), BufferBytes(8), Rounds(rounds))
+		pipes[i].AddStage("fill", func(ctx *Ctx, b *Buffer) error {
+			b.N = 8
+			return nil
+		})
+	}
+	drain := NewStage("drain", func(ctx *Ctx) error {
+		for i := 0; i < k; i++ {
+			for {
+				bb, ok := ctx.AcceptFrom(pipes[i])
+				if !ok {
+					break
+				}
+				ctx.Convey(bb)
+			}
+		}
+		return nil
+	})
+	for _, p := range pipes {
+		p.Add(drain)
+	}
+	b.ResetTimer()
+	if err := nw.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package fg
+
+import "fmt"
+
+// A Buffer is the unit of data that flows through a pipeline. Its capacity
+// is fixed at the pipeline's buffer size; Data[:N] holds the bytes currently
+// valid. Buffers correspond to the blocks in which out-of-core programs
+// move data, so the buffer size typically equals the block size for disk
+// I/O or communication.
+//
+// Every buffer is tied to the pipeline that injected it and is recycled to
+// that pipeline's source by its sink; buffers never jump between pipelines.
+type Buffer struct {
+	// Data is the buffer's storage. Stages may read and write Data freely
+	// but must not reslice it beyond its original capacity.
+	Data []byte
+	// N is the number of valid bytes at the front of Data. The source
+	// resets N to 0 each round; stages producing data set it.
+	N int
+	// Round is the round in which the source emitted this buffer: 0 for the
+	// pipeline's first buffer, 1 for the second, and so on. Stages commonly
+	// use it to address the block of the underlying file this buffer
+	// carries.
+	Round int
+	// Meta is free for stages to attach per-buffer information that
+	// downstream stages of the same pipeline need.
+	Meta any
+
+	pipe    *Pipeline
+	aux     []byte
+	caboose bool
+}
+
+// Pipeline returns the pipeline this buffer belongs to.
+func (b *Buffer) Pipeline() *Pipeline { return b.pipe }
+
+// Cap returns the buffer's fixed capacity in bytes.
+func (b *Buffer) Cap() int { return cap(b.Data) }
+
+// Bytes returns the valid prefix Data[:N].
+func (b *Buffer) Bytes() []byte { return b.Data[:b.N] }
+
+// Aux returns the buffer's auxiliary storage, a second region of the same
+// capacity, allocated on first use and retained across rounds. FG provides
+// auxiliary buffers so that stages such as dsort's permute can rearrange
+// records out of place; pair it with SwapAux to publish the rearranged
+// contents.
+func (b *Buffer) Aux() []byte {
+	if b.aux == nil {
+		b.aux = make([]byte, cap(b.Data))
+	}
+	return b.aux
+}
+
+// SwapAux exchanges Data with the auxiliary storage. N is preserved: the
+// first N bytes of the former auxiliary region become the buffer's valid
+// contents.
+func (b *Buffer) SwapAux() {
+	aux := b.Aux()
+	b.Data, b.aux = aux[:cap(aux)], b.Data
+}
+
+// reset prepares a recycled buffer for a new round.
+func (b *Buffer) reset(round int) {
+	b.Data = b.Data[:cap(b.Data)]
+	b.N = 0
+	b.Round = round
+	b.Meta = nil
+}
+
+func (b *Buffer) String() string {
+	if b.caboose {
+		return fmt.Sprintf("caboose(%s)", b.pipe.name)
+	}
+	return fmt.Sprintf("buffer(%s, round %d, %d/%d bytes)", b.pipe.name, b.Round, b.N, cap(b.Data))
+}

@@ -1,0 +1,60 @@
+// Package fg is a Go implementation of the FG programming environment
+// ("ABCDEFG": Asynchronous Buffered Computation Design and Engineering
+// Framework Generator), a framework for mitigating the latency of disk I/O
+// and interprocessor communication by assembling programmer-written,
+// synchronous stage functions into coarse-grained software pipelines.
+//
+// # Model
+//
+// A Pipeline is a linear sequence of stages. The framework adds a source
+// stage at the front and a sink stage at the end. The source injects
+// fixed-size buffers into the pipeline, beginning a new round with each
+// buffer; the sink recycles buffers back to the source, so a small fixed
+// pool of buffers serves an unbounded number of rounds and the memory
+// consumed by buffers stays within RAM — the heart of out-of-core
+// processing. A queue sits between each pair of consecutive stages. Each
+// stage runs in its own goroutine (FG's "one thread per stage"), so a stage
+// blocked in a high-latency operation — a disk read, a message receive —
+// yields while other stages work on other buffers: I/O, communication and
+// computation overlap.
+//
+// A stage is written as an ordinary synchronous function. Most stages are
+// round stages (AddStage): the framework accepts a buffer from the stage's
+// predecessor, passes it to the function, and conveys it to the successor.
+// Stages that accept and convey at different rates — a merge stage, a
+// receive stage filling buffers from the network — are free stages
+// (AddFreeStage or NewStage) that call Accept, AcceptFrom and Convey
+// explicitly on their Ctx.
+//
+// # Multiple pipelines
+//
+// A Network holds any number of pipelines that start and finish together.
+// Pipelines may be disjoint — e.g. a send pipeline and a receive pipeline
+// with independent buffer pools and sizes, for unbalanced communication —
+// or they may intersect at a common stage: adding the same *Stage object to
+// more than one pipeline makes those pipelines intersect there. The common
+// stage runs in a single goroutine and accepts buffers from any of its
+// pipelines with AcceptFrom; every buffer remains tied to the pipeline it
+// was injected into and conveys along that pipeline only.
+//
+// # Virtual pipelines
+//
+// When many structurally identical pipelines are needed — one per sorted
+// run being merged, say — creating one thread per stage per pipeline would
+// explode. A VirtualGroup declares k pipelines whose stages at each
+// position share a single goroutine and a single input queue, exactly as
+// FG's virtual stages share one thread. The group's sources and sinks are
+// virtualized automatically.
+//
+// # Shutdown
+//
+// A source emits its configured number of rounds (or runs until Stop) and
+// then emits a caboose, a sentinel that sweeps through the pipeline behind
+// the last data buffer. A round stage simply stops being called; a free
+// stage sees Accept return ok=false, may convey any partial output it still
+// holds, and returns. A free stage may also return early — when it has,
+// say, received everything it was promised — and the framework conveys the
+// caboose downstream on its behalf. A pipeline is complete when its sink
+// has seen the caboose; Network.Run returns when every pipeline completes
+// or any stage fails.
+package fg

@@ -1,0 +1,115 @@
+package fg_test
+
+import (
+	"fmt"
+
+	"github.com/fg-go/fg/fg"
+)
+
+// A minimal linear pipeline: three stages, three buffers, five rounds. The
+// produce stage numbers each buffer, square computes, and report prints —
+// all three overlap at runtime, but buffers arrive in round order.
+func Example() {
+	nw := fg.NewNetwork("example")
+	p := nw.AddPipeline("main", fg.Buffers(3), fg.BufferBytes(8), fg.Rounds(5))
+
+	p.AddStage("produce", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		b.Data[0] = byte(b.Round)
+		b.N = 1
+		return nil
+	})
+	p.AddStage("square", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		b.Data[0] = b.Data[0] * b.Data[0]
+		return nil
+	})
+	p.AddStage("report", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		fmt.Println(b.Data[0])
+		return nil
+	})
+
+	if err := nw.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// 0
+	// 1
+	// 4
+	// 9
+	// 16
+}
+
+// A free stage accepts and conveys at its own pace: here it packs two input
+// rounds into each output it forwards, halving the downstream rate — the
+// kind of rate mismatch FG's free stages exist for.
+func Example_freeStage() {
+	nw := fg.NewNetwork("pack")
+	p := nw.AddPipeline("main", fg.Buffers(3), fg.BufferBytes(8), fg.Rounds(6))
+	p.AddStage("number", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		b.Data[0] = byte(b.Round)
+		b.N = 1
+		return nil
+	})
+	p.AddFreeStage("pair", func(ctx *fg.Ctx) error {
+		for {
+			first, ok := ctx.Accept()
+			if !ok {
+				return nil
+			}
+			second, ok := ctx.Accept()
+			if !ok {
+				ctx.Convey(first) // odd one out
+				return nil
+			}
+			first.Data[1] = second.Data[0]
+			first.N = 2
+			second.N = 0 // spent; set before conveying — never touch a buffer after Convey
+			ctx.Convey(first)
+			ctx.Convey(second)
+		}
+	})
+	p.AddStage("print", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		if b.N == 2 {
+			fmt.Println(b.Data[0], b.Data[1])
+		}
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// 0 1
+	// 2 3
+	// 4 5
+}
+
+// A fork-join region routes each buffer down one branch; the pipeline
+// continues after the join. Here even rounds bypass the expensive branch.
+func ExamplePipeline_AddFork() {
+	nw := fg.NewNetwork("forked")
+	p := nw.AddPipeline("main", fg.Buffers(2), fg.BufferBytes(8), fg.Rounds(4))
+	p.AddStage("number", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		b.Data[0] = byte(b.Round)
+		b.N = 1
+		return nil
+	})
+	fork := p.AddFork("route", 2, func(ctx *fg.Ctx, b *fg.Buffer) (int, error) {
+		return b.Round % 2, nil
+	})
+	// Branch 0 is an empty bypass; branch 1 decorates.
+	fork.Branch(1).AddStage("mark", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		b.Data[0] += 100
+		return nil
+	})
+	fork.Join()
+	total := 0
+	p.AddStage("sum", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		total += int(b.Data[0])
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	fmt.Println(total) // 0 + 101 + 2 + 103
+	// Output:
+	// 206
+}

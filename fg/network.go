@@ -1,0 +1,197 @@
+package fg
+
+import (
+	"fmt"
+	"sync"
+)
+
+// A Network is a set of pipelines that are launched and complete together:
+// the unit FG instantiates on each node of a cluster. A typical FG program
+// builds one Network per node per pass — a single pipeline for a balanced
+// pass, disjoint send and receive pipelines for unbalanced communication,
+// or vertical virtual pipelines intersecting a merge stage for multiway
+// merging — and calls Run.
+type Network struct {
+	name   string
+	groups []*group
+
+	started bool
+	done    chan struct{}
+	stop    sync.Once
+	failMu  sync.Mutex
+	err     error
+
+	wg         sync.WaitGroup // every framework goroutine
+	completion sync.WaitGroup // one Done per pipeline, by the sinks
+
+	tracer *Tracer
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(name string) *Network {
+	return &Network{name: name, done: make(chan struct{})}
+}
+
+// Name returns the network's display name.
+func (nw *Network) Name() string { return nw.name }
+
+// AddPipeline creates a pipeline in the network. The returned pipeline is
+// configured by the options and populated with AddStage / AddFreeStage /
+// Add before Run.
+func (nw *Network) AddPipeline(name string, opts ...Option) *Pipeline {
+	nw.mustNotBeStarted()
+	g := &group{nw: nw, name: name}
+	nw.groups = append(nw.groups, g)
+	return newPipeline(nw, g, name, opts)
+}
+
+// AddVirtualGroup creates a group of virtual pipelines: structurally
+// identical pipelines whose stages at each position share one goroutine and
+// one input queue, as FG's virtual stages share one thread. Sources and
+// sinks of the group's members are virtualized automatically.
+func (nw *Network) AddVirtualGroup(name string) *VirtualGroup {
+	nw.mustNotBeStarted()
+	g := &group{nw: nw, name: name, virtual: true}
+	nw.groups = append(nw.groups, g)
+	return &VirtualGroup{g: g}
+}
+
+// A VirtualGroup declares a family of virtual pipelines. Add members with
+// AddPipeline; every member must have the same number of stages, with each
+// position holding either a per-member round stage (a virtual stage) or one
+// stage object shared by all members (an intersecting stage).
+type VirtualGroup struct {
+	g *group
+}
+
+// AddPipeline adds a member pipeline to the group.
+func (vg *VirtualGroup) AddPipeline(name string, opts ...Option) *Pipeline {
+	vg.g.nw.mustNotBeStarted()
+	return newPipeline(vg.g.nw, vg.g, name, opts)
+}
+
+// Pipelines returns the group's member pipelines in creation order.
+func (vg *VirtualGroup) Pipelines() []*Pipeline {
+	return append([]*Pipeline(nil), vg.g.pipes...)
+}
+
+func (nw *Network) mustNotBeStarted() {
+	if nw.started {
+		panic(fmt.Sprintf("fg: network %q modified after Run", nw.name))
+	}
+}
+
+// fail records the first error and begins shutdown.
+func (nw *Network) fail(err error) {
+	nw.failMu.Lock()
+	if nw.err == nil {
+		nw.err = err
+	}
+	nw.failMu.Unlock()
+	nw.shutdown()
+}
+
+func (nw *Network) shutdown() {
+	nw.stop.Do(func() { close(nw.done) })
+}
+
+// Err returns the first error a stage reported, if any.
+func (nw *Network) Err() error {
+	nw.failMu.Lock()
+	defer nw.failMu.Unlock()
+	return nw.err
+}
+
+// Run launches every pipeline and blocks until each one's caboose has
+// reached its sink, or until a stage returns an error. A network runs once;
+// build a new one for the next pass.
+func (nw *Network) Run() error {
+	nw.mustNotBeStarted()
+	nw.started = true
+
+	pipelines := 0
+	for _, g := range nw.groups {
+		if err := g.build(); err != nil {
+			return err
+		}
+		pipelines += len(g.pipes)
+	}
+	if pipelines == 0 {
+		return fmt.Errorf("fg: network %q has no pipelines", nw.name)
+	}
+	nw.completion.Add(pipelines)
+
+	// Validate and wire every fork region before launching any goroutine,
+	// so a bad group cannot leave an earlier group's runners stranded.
+	forkRTsOf := make(map[*group][]*forkRuntime)
+	for _, g := range nw.groups {
+		rts, err := g.buildForkRuntimes()
+		if err != nil {
+			return err
+		}
+		forkRTsOf[g] = rts
+	}
+
+	// One goroutine per unique stage or slot, plus each group's source and
+	// sink — FG's thread economy, including virtual sharing, made literal.
+	for _, g := range nw.groups {
+		forkRTs := forkRTsOf[g]
+		nw.wg.Add(2)
+		go g.runSource()
+		go g.runSink()
+		rtOf := map[*Fork]*forkRuntime{}
+		for _, rt := range forkRTs {
+			rtOf[rt.f] = rt
+		}
+		for pos := range g.pipes[0].stages {
+			s := g.pipes[0].stages[pos]
+			switch {
+			case s.isFree():
+				// shared (intersecting) stage: launched once below
+			case s.fork != nil:
+				rt := rtOf[s.fork]
+				nw.wg.Add(1)
+				go runFork(nw, g, rt)
+				for bi, chain := range s.fork.branches {
+					for j := range chain {
+						nw.wg.Add(1)
+						go runBranchStage(nw, g, rt, bi, j)
+					}
+				}
+			case s.join != nil:
+				nw.wg.Add(1)
+				go runJoin(nw, g, rtOf[s.join])
+			case s.replicas > 1:
+				runReplicated(nw, g, pos) // adds its workers to the WaitGroup itself
+			default:
+				nw.wg.Add(1)
+				go runSlot(nw, g, pos)
+			}
+		}
+	}
+	launched := map[*Stage]bool{}
+	for _, g := range nw.groups {
+		for _, p := range g.pipes {
+			for _, s := range p.stages {
+				if s.isFree() && !launched[s] {
+					launched[s] = true
+					nw.wg.Add(1)
+					go runFree(nw, s)
+				}
+			}
+		}
+	}
+
+	completed := make(chan struct{})
+	go func() {
+		nw.completion.Wait()
+		close(completed)
+	}()
+	select {
+	case <-completed:
+	case <-nw.done: // a stage failed
+	}
+	nw.shutdown()
+	nw.wg.Wait()
+	return nw.Err()
+}

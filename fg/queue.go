@@ -1,0 +1,53 @@
+package fg
+
+import "errors"
+
+// errShutdown is returned by queue operations when the network has been
+// aborted; runners treat it as a signal to exit quietly.
+var errShutdown = errors.New("fg: network shut down")
+
+// A queue carries buffers between consecutive stages. Its capacity is sized
+// to the total number of buffers that can ever be in flight through it (the
+// owning pipelines' pool sizes plus their cabooses), so pushes never block:
+// as in FG, a stage conveys a buffer and immediately turns around to accept
+// its next one. Backpressure comes from the finite buffer pool, not from
+// the queues.
+type queue struct {
+	ch chan *Buffer
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{ch: make(chan *Buffer, capacity)}
+}
+
+// push enqueues b, failing only if the network aborts first.
+func (q *queue) push(b *Buffer, done <-chan struct{}) error {
+	select {
+	case q.ch <- b:
+		return nil
+	default:
+	}
+	// The queue should never fill by construction, but guard against abort
+	// rather than blocking forever if an invariant is broken.
+	select {
+	case q.ch <- b:
+		return nil
+	case <-done:
+		return errShutdown
+	}
+}
+
+// pop dequeues the next buffer, failing if the network aborts while empty.
+func (q *queue) pop(done <-chan struct{}) (*Buffer, error) {
+	select {
+	case b := <-q.ch:
+		return b, nil
+	default:
+	}
+	select {
+	case b := <-q.ch:
+		return b, nil
+	case <-done:
+		return nil, errShutdown
+	}
+}

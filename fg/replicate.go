@@ -1,0 +1,98 @@
+package fg
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stage replication. The paper notes (Section II) that FG gains additional
+// parallelism "when threads can run concurrently on multiple cores"; for a
+// stage whose work is pure computation on its own buffer, the natural next
+// step is serving one stage with several worker goroutines. Replicate marks
+// a round stage to be run by n workers sharing its input and output queues.
+// Buffers may leave a replicated stage in a different order than they
+// entered (like a fork-join, downstream stages can reorder by Buffer.Round
+// if they care); everything else about the pipeline is unchanged.
+//
+// This is an extension beyond the paper's published FG, flagged as such in
+// DESIGN.md.
+
+// Replicate asks for n parallel workers for this stage. It panics unless
+// the stage is a round stage on the spine of exactly one ordinary
+// (non-virtual) pipeline; validation of the group happens when the network
+// starts.
+func (s *Stage) Replicate(n int) *Stage {
+	if n < 1 {
+		panic(fmt.Sprintf("fg: stage %q: invalid replica count %d", s.name, n))
+	}
+	if s.round == nil {
+		panic(fmt.Sprintf("fg: stage %q: only round stages can be replicated", s.name))
+	}
+	if len(s.slots) != 1 || s.slots[0].pos < 0 {
+		panic(fmt.Sprintf("fg: stage %q: only spine stages of one pipeline can be replicated", s.name))
+	}
+	s.replicas = n
+	return s
+}
+
+// validateReplicas is called from group.build.
+func (g *group) validateReplicas() error {
+	for _, p := range g.pipes {
+		for _, s := range p.stages {
+			if s.replicas > 1 && len(g.pipes) > 1 {
+				return fmt.Errorf("fg: virtual group %q: stage %q cannot be replicated", g.name, s.name)
+			}
+		}
+	}
+	return nil
+}
+
+// runReplicated serves one stage position with n workers. Each data buffer
+// is processed by exactly one worker. The single caboose circulates: each
+// worker that meets it counts itself out and puts it back for its siblings;
+// the last one forwards it downstream. Because a worker only meets the
+// caboose after conveying its in-flight buffer, every data buffer reaches
+// the output queue before the caboose does.
+func runReplicated(nw *Network, g *group, pos int) {
+	s := g.pipes[0].stages[pos]
+	in := g.queues[pos]
+	out := g.queues[pos+1]
+	ctx := g.pipes[0].slotCtx[pos]
+	var seen atomic.Int32
+	n := s.replicas
+	for w := 0; w < n; w++ {
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			for {
+				start := time.Now()
+				b, err := in.pop(nw.done)
+				if err != nil {
+					return
+				}
+				s.stats.acceptWait.Add(int64(time.Since(start)))
+				if b.caboose {
+					if int(seen.Add(1)) < n {
+						_ = in.push(b, nw.done) // pass it to a sibling
+					} else {
+						_ = out.push(b, nw.done) // last worker: done for real
+					}
+					return
+				}
+				t0 := time.Now()
+				ferr := s.round(ctx, b)
+				s.stats.work.Add(int64(time.Since(t0)))
+				s.stats.rounds.Add(1)
+				nw.traceWork(s, b.pipe, b.Round, t0)
+				if ferr != nil {
+					nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, ferr))
+					return
+				}
+				if err := out.push(b, nw.done); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}

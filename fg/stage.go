@@ -1,0 +1,284 @@
+package fg
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// A RoundFunc is the body of a round stage. The framework accepts a buffer
+// from the stage's predecessor, calls the function, and conveys the same
+// buffer to the successor — the balanced accept/convey pattern of a classic
+// FG stage. The function must not retain b past its return.
+type RoundFunc func(ctx *Ctx, b *Buffer) error
+
+// A StageFunc is the body of a free stage. The function drives its own
+// accepts and conveys through ctx, so it may accept and convey buffers at
+// different rates — the pattern FG's multiple-pipeline extensions exist to
+// support. The function returns when its work is done (or when Accept
+// reports end of input); the framework conveys the caboose onward for any
+// of the stage's pipelines that still need it.
+type StageFunc func(ctx *Ctx) error
+
+// A Stage is one pipeline stage. Stages are created by Pipeline.AddStage,
+// Pipeline.AddFreeStage, or NewStage, and run in exactly one goroutine each
+// regardless of how many pipelines they belong to. Adding the same *Stage
+// to several pipelines makes those pipelines intersect at it.
+type Stage struct {
+	name  string
+	round RoundFunc
+	free  StageFunc
+
+	slots []slotRef // (pipeline, position) memberships in add order
+
+	// fork/join are set on the placeholder stages that anchor a fork-join
+	// region to the pipeline spine.
+	fork *Fork
+	join *Fork
+
+	// replicas > 1 asks for that many parallel workers (see Replicate).
+	replicas int
+
+	stats stageCounters
+}
+
+// slotRef locates a stage within one pipeline.
+type slotRef struct {
+	pipe *Pipeline
+	pos  int
+}
+
+// stageCounters accumulates a stage's runtime statistics with atomics so
+// the runner writes and Stats reads race-free.
+type stageCounters struct {
+	rounds     atomic.Int64
+	acceptWait atomic.Int64 // ns blocked waiting to accept
+	work       atomic.Int64 // ns inside the stage function
+}
+
+// NewStage creates a free stage that is not yet part of any pipeline. Use
+// it for a stage that several pipelines share: add it to each of them with
+// Pipeline.Add, and the pipelines intersect at it.
+func NewStage(name string, fn StageFunc) *Stage {
+	if fn == nil {
+		panic("fg: NewStage with nil function")
+	}
+	return &Stage{name: name, free: fn}
+}
+
+// Name returns the stage's display name.
+func (s *Stage) Name() string { return s.name }
+
+// isFree reports whether the stage drives its own accepts and conveys.
+func (s *Stage) isFree() bool { return s.free != nil }
+
+// primary returns the pipeline the stage was first added to.
+func (s *Stage) primary() *Pipeline {
+	if len(s.slots) == 0 {
+		return nil
+	}
+	return s.slots[0].pipe
+}
+
+// posIn returns the stage's position within pipeline p, or -1.
+func (s *Stage) posIn(p *Pipeline) int {
+	for _, ref := range s.slots {
+		if ref.pipe == p {
+			return ref.pos
+		}
+	}
+	return -1
+}
+
+// A Ctx is a stage's handle to the framework, passed to every stage
+// function. A Ctx is owned by its stage's goroutine and must not be shared.
+type Ctx struct {
+	nw    *Network
+	stage *Stage
+
+	// restricted marks the context handed to round stages, whose accepts
+	// and conveys the framework performs itself.
+	restricted bool
+
+	// held buffers arrived on a shared queue while the stage was accepting
+	// from a different pipeline; they are handed out by later AcceptFrom
+	// calls on their own pipeline.
+	held map[*Pipeline][]*Buffer
+	// eof marks pipelines whose caboose this stage has consumed.
+	eof map[*Pipeline]bool
+	// cabooseFwd marks pipelines whose caboose this stage has already
+	// conveyed downstream (on consumption, or synthesized at return).
+	cabooseFwd map[*Pipeline]bool
+}
+
+func newCtx(nw *Network, s *Stage) *Ctx {
+	return &Ctx{
+		nw:         nw,
+		stage:      s,
+		held:       make(map[*Pipeline][]*Buffer),
+		eof:        make(map[*Pipeline]bool),
+		cabooseFwd: make(map[*Pipeline]bool),
+	}
+}
+
+// Network returns the network the stage runs in.
+func (c *Ctx) Network() *Network { return c.nw }
+
+// Stage returns the stage this context belongs to.
+func (c *Ctx) Stage() *Stage { return c.stage }
+
+// Accept receives the next buffer from the stage's predecessor in its
+// primary pipeline (the one it was first added to). It returns ok=false
+// when the pipeline's caboose arrives — no more buffers will follow — or
+// when the network is shutting down. Stages that belong to several
+// pipelines should use AcceptFrom to say which pipeline they want.
+func (c *Ctx) Accept() (*Buffer, bool) {
+	return c.AcceptFrom(c.stage.primary())
+}
+
+// AcceptFrom receives the next buffer that pipeline p conveys into this
+// stage. It returns ok=false once p's caboose has arrived or the network is
+// shutting down. If p shares an input queue with other pipelines of a
+// virtual group, buffers belonging to those pipelines are held internally
+// and delivered by later AcceptFrom calls naming them.
+func (c *Ctx) AcceptFrom(p *Pipeline) (*Buffer, bool) {
+	if c.restricted {
+		panic("fg: round stages accept automatically; use a free stage to accept explicitly")
+	}
+	pos := c.stage.posIn(p)
+	if pos < 0 {
+		panic(fmt.Sprintf("fg: stage %q accepting from pipeline %q it does not belong to",
+			c.stage.name, p.name))
+	}
+	if bs := c.held[p]; len(bs) > 0 {
+		c.held[p] = bs[1:]
+		return bs[0], true
+	}
+	if c.eof[p] {
+		return nil, false
+	}
+	in := p.group.queues[pos]
+	for {
+		start := time.Now()
+		b, err := in.pop(c.nw.done)
+		c.stage.stats.acceptWait.Add(int64(time.Since(start)))
+		if err != nil {
+			return nil, false
+		}
+		if b.caboose {
+			c.eof[b.pipe] = true
+			c.forwardCaboose(b.pipe, b)
+			if b.pipe == p {
+				return nil, false
+			}
+			continue
+		}
+		if b.pipe == p {
+			c.stage.stats.rounds.Add(1)
+			return b, true
+		}
+		c.held[b.pipe] = append(c.held[b.pipe], b)
+		c.stage.stats.rounds.Add(1)
+	}
+}
+
+// Convey passes b to this stage's successor in b's pipeline: the next
+// stage, or the sink if this is the last stage. Buffers always travel along
+// the pipeline they were injected into.
+func (c *Ctx) Convey(b *Buffer) {
+	if c.restricted {
+		panic("fg: round stages convey automatically; use a free stage to convey explicitly")
+	}
+	if b == nil || b.caboose {
+		panic("fg: Convey of nil or caboose buffer")
+	}
+	pos := c.stage.posIn(b.pipe)
+	if pos < 0 {
+		panic(fmt.Sprintf("fg: stage %q conveying a buffer of pipeline %q it does not belong to",
+			c.stage.name, b.pipe.name))
+	}
+	// Push cannot block by construction; an error only signals shutdown.
+	_ = b.pipe.group.queues[pos+1].push(b, c.nw.done)
+}
+
+// forwardCaboose conveys pipeline p's caboose to this stage's successor in
+// p, exactly once. If the real caboose buffer is at hand it is forwarded;
+// otherwise a fresh sentinel is minted (the stage returned before consuming
+// the real one, which shutdown will drain).
+func (c *Ctx) forwardCaboose(p *Pipeline, real *Buffer) {
+	if c.cabooseFwd[p] {
+		return
+	}
+	c.cabooseFwd[p] = true
+	b := real
+	if b == nil {
+		b = &Buffer{caboose: true, pipe: p}
+	}
+	pos := c.stage.posIn(p)
+	_ = p.group.queues[pos+1].push(b, c.nw.done)
+}
+
+// finish synthesizes cabooses for every pipeline the stage belongs to whose
+// caboose it has not already forwarded. Called by the runner after the
+// stage function returns without error.
+func (c *Ctx) finish() {
+	for _, ref := range c.stage.slots {
+		c.forwardCaboose(ref.pipe, nil)
+	}
+}
+
+// runFree executes a free (possibly intersecting) stage.
+func runFree(nw *Network, s *Stage) {
+	defer nw.wg.Done()
+	ctx := newCtx(nw, s)
+	start := time.Now()
+	err := s.free(ctx)
+	s.stats.work.Add(int64(time.Since(start)) - s.stats.acceptWait.Load())
+	if err != nil {
+		nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, err))
+		return
+	}
+	ctx.finish()
+}
+
+// runSlot executes the round stages of one group slot: it serves the
+// position-pos stage of every pipeline in the group, dispatching each
+// buffer to its own pipeline's stage function. For a plain pipeline the
+// group has one member and this is the classic one-thread-per-stage runner;
+// for a virtual group it is FG's shared thread for k identical virtual
+// stages.
+func runSlot(nw *Network, g *group, pos int) {
+	defer nw.wg.Done()
+	in := g.queues[pos]
+	out := g.queues[pos+1]
+	remaining := len(g.pipes)
+	for remaining > 0 {
+		start := time.Now()
+		b, err := in.pop(nw.done)
+		wait := time.Since(start)
+		if err != nil {
+			return
+		}
+		s := b.pipe.stages[pos]
+		s.stats.acceptWait.Add(int64(wait))
+		nw.traceWait(s, b.pipe, start)
+		if b.caboose {
+			remaining--
+			_ = out.push(b, nw.done)
+			continue
+		}
+		ctx := b.pipe.slotCtx[pos]
+		t0 := time.Now()
+		ferr := s.round(ctx, b)
+		s.stats.work.Add(int64(time.Since(t0)))
+		s.stats.rounds.Add(1)
+		nw.traceWork(s, b.pipe, b.Round, t0)
+		if ferr != nil {
+			nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, ferr))
+			return
+		}
+		if err := out.push(b, nw.done); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package fg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageStats reports one stage's activity. AcceptWait is the time the
+// stage's goroutine spent blocked waiting for a buffer; Work is the time
+// spent inside the stage function. A well-overlapped pipeline shows large
+// AcceptWait on cheap stages and large Work on the expensive ones, with
+// total wall time close to the largest single stage rather than the sum —
+// the latency-hiding FG exists for.
+type StageStats struct {
+	Stage      string
+	Pipeline   string // the stage's primary pipeline
+	Shared     bool   // stage belongs to more than one pipeline (intersecting)
+	Virtual    bool   // stage runs in a shared virtual-slot goroutine
+	Rounds     int64  // buffers accepted
+	AcceptWait time.Duration
+	Work       time.Duration
+}
+
+// PipelineStats reports one pipeline's configuration and progress.
+type PipelineStats struct {
+	Name        string
+	Virtual     bool
+	Buffers     int
+	BufferBytes int
+	Rounds      int64 // rounds emitted by the source so far
+}
+
+// NetworkStats is a snapshot of a network's activity, taken at any time
+// (typically after Run returns).
+type NetworkStats struct {
+	Name      string
+	Pipelines []PipelineStats
+	Stages    []StageStats
+}
+
+// Stats snapshots the network's per-pipeline and per-stage statistics.
+func (nw *Network) Stats() NetworkStats {
+	st := NetworkStats{Name: nw.name}
+	seen := map[*Stage]bool{}
+	for _, g := range nw.groups {
+		for _, p := range g.pipes {
+			st.Pipelines = append(st.Pipelines, PipelineStats{
+				Name:        p.name,
+				Virtual:     g.virtual,
+				Buffers:     p.nBuffers,
+				BufferBytes: p.bufBytes,
+				Rounds:      p.emitted.Load(),
+			})
+			for _, s := range p.stages {
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				st.Stages = append(st.Stages, StageStats{
+					Stage:      s.name,
+					Pipeline:   s.primary().name,
+					Shared:     len(s.slots) > 1,
+					Virtual:    g.virtual && !s.isFree(),
+					Rounds:     s.stats.rounds.Load(),
+					AcceptWait: time.Duration(s.stats.acceptWait.Load()),
+					Work:       time.Duration(s.stats.work.Load()),
+				})
+			}
+		}
+	}
+	return st
+}
+
+// String renders the statistics as an aligned table for logs and demos.
+func (s NetworkStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %q\n", s.Name)
+	for _, p := range s.Pipelines {
+		kind := "pipeline"
+		if p.Virtual {
+			kind = "virtual pipeline"
+		}
+		fmt.Fprintf(&b, "  %-16s %-24s %3d buffers x %8d B, %6d rounds\n",
+			kind, p.Name, p.Buffers, p.BufferBytes, p.Rounds)
+	}
+	stages := append([]StageStats(nil), s.Stages...)
+	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Pipeline < stages[j].Pipeline })
+	for _, st := range stages {
+		flags := ""
+		if st.Shared {
+			flags += " [shared]"
+		}
+		if st.Virtual {
+			flags += " [virtual]"
+		}
+		fmt.Fprintf(&b, "  stage %-20s on %-20s rounds=%6d wait=%-12v work=%-12v%s\n",
+			st.Stage, st.Pipeline, st.Rounds, st.AcceptWait.Round(time.Microsecond),
+			st.Work.Round(time.Microsecond), flags)
+	}
+	return b.String()
+}

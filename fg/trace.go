@@ -1,0 +1,176 @@
+package fg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event tracing. A Tracer attached to a network records, for every stage,
+// when it was working on a buffer and when it was waiting for one. The
+// resulting timeline makes FG's latency hiding visible: a well-overlapped
+// network shows the stages' work intervals interleaved in time rather than
+// stacked end to end. cmd/fgdemo renders traces as an ASCII Gantt chart.
+
+// An Event records one stage activity interval.
+type Event struct {
+	Stage    string
+	Pipeline string
+	Kind     EventKind
+	Round    int
+	Start    time.Duration // since the network's trace epoch
+	End      time.Duration
+}
+
+// EventKind distinguishes working intervals from waiting intervals.
+type EventKind int
+
+const (
+	// EventWork covers a stage function invocation for one buffer.
+	EventWork EventKind = iota
+	// EventWait covers a blocked accept.
+	EventWait
+)
+
+func (k EventKind) String() string {
+	if k == EventWork {
+		return "work"
+	}
+	return "wait"
+}
+
+// A Tracer collects events from one network run. The zero value is unused;
+// create with NewTracer and attach with Network.SetTracer before Run.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+	limit  int
+}
+
+// NewTracer creates a tracer retaining at most limit events (0 means a
+// generous default). Events past the limit are dropped, keeping tracing
+// safe for long runs.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &Tracer{epoch: time.Now(), limit: limit}
+}
+
+// record appends an event unless the tracer is full.
+func (tr *Tracer) record(e Event) {
+	tr.mu.Lock()
+	if len(tr.events) < tr.limit {
+		tr.events = append(tr.events, e)
+	}
+	tr.mu.Unlock()
+}
+
+// Events returns the recorded events in chronological start order.
+func (tr *Tracer) Events() []Event {
+	tr.mu.Lock()
+	out := append([]Event(nil), tr.events...)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SetTracer attaches a tracer to the network; every round stage's work and
+// wait intervals are recorded. Attach before Run.
+func (nw *Network) SetTracer(tr *Tracer) {
+	nw.mustNotBeStarted()
+	nw.tracer = tr
+}
+
+// traceWork records a work interval if tracing is on.
+func (nw *Network) traceWork(s *Stage, p *Pipeline, round int, start time.Time) {
+	if nw.tracer == nil {
+		return
+	}
+	now := time.Now()
+	nw.tracer.record(Event{
+		Stage:    s.name,
+		Pipeline: p.name,
+		Kind:     EventWork,
+		Round:    round,
+		Start:    start.Sub(nw.tracer.epoch),
+		End:      now.Sub(nw.tracer.epoch),
+	})
+}
+
+// traceWait records a wait interval if tracing is on and it is long enough
+// to matter (sub-10us waits are queue handoffs, not stalls).
+func (nw *Network) traceWait(s *Stage, p *Pipeline, start time.Time) {
+	if nw.tracer == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(start) < 10*time.Microsecond {
+		return
+	}
+	nw.tracer.record(Event{
+		Stage:    s.name,
+		Pipeline: p.name,
+		Kind:     EventWait,
+		Start:    start.Sub(nw.tracer.epoch),
+		End:      now.Sub(nw.tracer.epoch),
+	})
+}
+
+// Gantt renders the trace as an ASCII chart: one row per stage, time
+// flowing right, '#' for work and '.' for waiting. width is the chart width
+// in characters.
+func (tr *Tracer) Gantt(width int) string {
+	events := tr.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	var maxEnd time.Duration
+	rows := map[string][]Event{}
+	var order []string
+	for _, e := range events {
+		key := e.Pipeline + "/" + e.Stage
+		if _, seen := rows[key]; !seen {
+			order = append(order, key)
+		}
+		rows[key] = append(rows[key], e)
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %v total, %d events ('#'=work, '.'=wait)\n", maxEnd.Round(time.Millisecond), len(events))
+	for _, key := range order {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, e := range rows[key] {
+			from := int(int64(e.Start) * int64(width) / int64(maxEnd))
+			to := int(int64(e.End) * int64(width) / int64(maxEnd))
+			if to >= width {
+				to = width - 1
+			}
+			mark := byte('#')
+			if e.Kind == EventWait {
+				mark = '.'
+			}
+			for i := from; i <= to; i++ {
+				if mark == '#' || line[i] == ' ' {
+					line[i] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-28s |%s|\n", key, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package fg
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsWorkAndWait(t *testing.T) {
+	tr := NewTracer(0)
+	nw := NewNetwork("traced")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(2), Rounds(6))
+	p.AddStage("slow", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	p.AddStage("fast", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	work, wait := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case EventWork:
+			work++
+			if e.End < e.Start {
+				t.Errorf("event ends before it starts: %+v", e)
+			}
+		case EventWait:
+			wait++
+		}
+	}
+	if work != 12 { // 6 rounds x 2 stages
+		t.Errorf("recorded %d work events, want 12", work)
+	}
+	if wait == 0 {
+		t.Error("no wait events recorded; the fast stage must have waited on the slow one")
+	}
+	// Chronological order.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("Events() not sorted by start time")
+		}
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer(5)
+	nw := NewNetwork("limited")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(1), Rounds(50))
+	p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Events()); got > 5 {
+		t.Errorf("tracer retained %d events, limit 5", got)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := NewTracer(0)
+	nw := NewNetwork("gantt")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(2), Rounds(4))
+	p.AddStage("work", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	chart := tr.Gantt(60)
+	if !strings.Contains(chart, "main/work") {
+		t.Errorf("chart missing stage row:\n%s", chart)
+	}
+	if !strings.Contains(chart, "#") {
+		t.Errorf("chart shows no work:\n%s", chart)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	tr := NewTracer(0)
+	if got := tr.Gantt(40); !strings.Contains(got, "no events") {
+		t.Errorf("empty trace rendered %q", got)
+	}
+}
+
+func TestSetTracerAfterRunPanics(t *testing.T) {
+	nw := NewNetwork("late")
+	p := nw.AddPipeline("main", Rounds(1))
+	p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTracer after Run did not panic")
+		}
+	}()
+	nw.SetTracer(NewTracer(0))
+}

@@ -1,0 +1,3 @@
+module github.com/fg-go/fg
+
+go 1.22

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/pdm"
+	"github.com/fg-go/fg/workload"
+)
+
+// TestProbeTimings is a manual probe, enabled with FG_PROBE=1, for
+// calibrating the experiment models. It is not part of the regular suite.
+func TestProbeTimings(t *testing.T) {
+	if os.Getenv("FG_PROBE") == "" {
+		t.Skip("set FG_PROBE=1 to run the timing probe")
+	}
+	pr := DefaultParams()
+	pr.TotalRecords = 1 << 19
+	pr.Verify = false
+
+	configs := []struct {
+		name string
+		disk pdm.DiskModel
+		net  cluster.NetworkModel
+	}{
+		{"default", pr.Disk, pr.Network},
+		{"slow10", pdm.DiskModel{SeekLatency: 200e3, BytesPerSecond: 10e6}, cluster.NetworkModel{Latency: 30e3, BytesPerSecond: 50e6}},
+		{"slow5", pdm.DiskModel{SeekLatency: 200e3, BytesPerSecond: 5e6}, cluster.NetworkModel{Latency: 30e3, BytesPerSecond: 25e6}},
+	}
+	for _, c := range configs {
+		pr.Disk, pr.Network = c.disk, c.net
+		for _, prog := range []Program{Csort, Dsort} {
+			start := time.Now()
+			res, err := pr.Run(prog, workload.Uniform, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-8s %-6s wall=%-8v %v", c.name, prog, time.Since(start).Round(time.Millisecond), res)
+		}
+	}
+}
+
+// TestProbeRepeat is a manual probe (FG_PROBE=1) that runs one program
+// repeatedly in-process to expose warmup effects.
+func TestProbeRepeat(t *testing.T) {
+	if os.Getenv("FG_PROBE") == "" {
+		t.Skip("set FG_PROBE=1 to run")
+	}
+	pr := DefaultParams()
+	pr.Verify = false
+	pr.RecordSize = 64
+	for i := 0; i < 4; i++ {
+		res, err := pr.Run(Dsort, workload.Uniform, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("dsort uniform-64 trial %d: %v", i, res)
+	}
+}

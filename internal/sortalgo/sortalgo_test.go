@@ -1,0 +1,194 @@
+package sortalgo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fg-go/fg/records"
+)
+
+func randomRecords(f records.Format, n int, keySpace uint64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, f.Bytes(n))
+	for i := 0; i < n; i++ {
+		rec := f.At(data, i)
+		key := rng.Uint64()
+		if keySpace > 0 {
+			key %= keySpace
+		}
+		f.SetKey(rec, key)
+		if f.HasID() {
+			f.StampID(rec, records.MakeID(0, uint64(i)))
+		}
+	}
+	return data
+}
+
+func checkSortedPermutation(t *testing.T, f records.Format, before, after []byte) {
+	t.Helper()
+	if !f.IsSorted(after) {
+		t.Fatal("output is not sorted")
+	}
+	if f.HasID() {
+		if !f.Fingerprint(after).Equal(f.Fingerprint(before)) {
+			t.Fatal("output is not a permutation of the input")
+		}
+	}
+}
+
+func TestSortRecordsMatchesOracle(t *testing.T) {
+	for _, size := range []int{16, 64} {
+		for _, n := range []int{0, 1, 2, 63, 64, 65, 1000} {
+			for _, space := range []uint64{0, 1, 7, 1 << 40} {
+				f := records.NewFormat(size)
+				data := randomRecords(f, n, space, int64(n)*7+int64(space%97)+int64(size))
+				before := append([]byte(nil), data...)
+				SortRecords(f, data, make([]byte, len(data)))
+
+				oracle := append([]byte(nil), before...)
+				SortRecordsComparison(f, oracle)
+				if !bytes.Equal(data, oracle) {
+					t.Fatalf("size=%d n=%d space=%d: radix sort disagrees with comparison sort", size, n, space)
+				}
+				checkSortedPermutation(t, f, before, data)
+			}
+		}
+	}
+}
+
+func TestSortRecordsStable(t *testing.T) {
+	// Equal keys must keep their input order: with all keys equal, the ids
+	// must come out in input order.
+	f := records.NewFormat(16)
+	const n = 500
+	data := make([]byte, f.Bytes(n))
+	for i := 0; i < n; i++ {
+		f.SetKey(f.At(data, i), 42)
+		f.StampID(f.At(data, i), uint64(i))
+	}
+	SortRecords(f, data, make([]byte, len(data)))
+	for i := 0; i < n; i++ {
+		if f.IDAt(data, i) != uint64(i) {
+			t.Fatalf("stability broken at %d: id %d", i, f.IDAt(data, i))
+		}
+	}
+}
+
+func TestSortRecordsPanicsOnSmallScratch(t *testing.T) {
+	f := records.NewFormat(16)
+	data := randomRecords(f, 100, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("small scratch did not panic")
+		}
+	}()
+	SortRecords(f, data, make([]byte, 10))
+}
+
+func TestSortRecordsQuick(t *testing.T) {
+	f := records.NewFormat(16)
+	fn := func(keys []uint64) bool {
+		data := make([]byte, f.Bytes(len(keys)))
+		for i, k := range keys {
+			f.SetKey(f.At(data, i), k)
+			f.StampID(f.At(data, i), uint64(i))
+		}
+		before := f.Fingerprint(data)
+		SortRecords(f, data, make([]byte, len(data)))
+		return f.IsSorted(data) && f.Fingerprint(data).Equal(before)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	f := records.NewFormat(16)
+	a := randomRecords(f, 300, 1000, 5)
+	b := randomRecords(f, 200, 1000, 6)
+	SortRecords(f, a, make([]byte, len(a)))
+	SortRecords(f, b, make([]byte, len(b)))
+	dst := make([]byte, len(a)+len(b))
+	MergeSorted(f, a, b, dst)
+	if !f.IsSorted(dst) {
+		t.Fatal("merged output unsorted")
+	}
+	var want records.Fingerprint
+	want.Merge(f.Fingerprint(a))
+	want.Merge(f.Fingerprint(b))
+	if !f.Fingerprint(dst).Equal(want) {
+		t.Fatal("merge lost or duplicated records")
+	}
+}
+
+func TestMergeSortedEmptySides(t *testing.T) {
+	f := records.NewFormat(16)
+	a := randomRecords(f, 10, 100, 7)
+	SortRecords(f, a, make([]byte, len(a)))
+	dst := make([]byte, len(a))
+	MergeSorted(f, a, nil, dst)
+	if !bytes.Equal(dst, a) {
+		t.Error("merge with empty right side altered data")
+	}
+	MergeSorted(f, nil, a, dst)
+	if !bytes.Equal(dst, a) {
+		t.Error("merge with empty left side altered data")
+	}
+}
+
+func TestMergeSortedStability(t *testing.T) {
+	f := records.NewFormat(16)
+	mk := func(id uint64) []byte {
+		rec := make([]byte, 16)
+		f.SetKey(rec, 9)
+		f.StampID(rec, id)
+		return rec
+	}
+	a := append(mk(1), mk(2)...)
+	b := append(mk(3), mk(4)...)
+	dst := make([]byte, len(a)+len(b))
+	MergeSorted(f, a, b, dst)
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got := f.IDAt(dst, i); got != want {
+			t.Fatalf("position %d holds id %d, want %d (a-side must win ties)", i, got, want)
+		}
+	}
+}
+
+func TestMergeSortedPanicsOnSmallDst(t *testing.T) {
+	f := records.NewFormat(16)
+	a := randomRecords(f, 4, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("small destination did not panic")
+		}
+	}()
+	MergeSorted(f, a, a, make([]byte, len(a)))
+}
+
+func BenchmarkRadixSort16B(b *testing.B) {
+	f := records.NewFormat(16)
+	orig := randomRecords(f, 1<<14, 0, 1)
+	data := make([]byte, len(orig))
+	scratch := make([]byte, len(orig))
+	b.SetBytes(int64(len(orig)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		SortRecords(f, data, scratch)
+	}
+}
+
+func BenchmarkComparisonSort16B(b *testing.B) {
+	f := records.NewFormat(16)
+	orig := randomRecords(f, 1<<14, 0, 1)
+	data := make([]byte, len(orig))
+	b.SetBytes(int64(len(orig)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		SortRecordsComparison(f, data)
+	}
+}

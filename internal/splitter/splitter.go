@@ -1,0 +1,116 @@
+// Package splitter implements dsort's preprocessing phase: selecting the
+// P-1 splitters that partition the input among the nodes, by the
+// oversampling technique of Blelloch et al. and Seshadri & Naughton
+// (paper, Section V).
+//
+// Splitters are extended keys — a sort key plus the sampled record's origin
+// node and sequence number — so that even when many records share a key,
+// the partition boundaries cut deterministically between records and the
+// partitions stay near-balanced. The extended keys never become part of any
+// record; they exist only while deciding where each record is sent.
+package splitter
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/records"
+)
+
+// DefaultOversample is the number of samples each node contributes per
+// partition boundary. 32 keeps every partition within a few percent of the
+// average for the paper's distributions.
+const DefaultOversample = 32
+
+// A Sampler yields the sort key of the local record with the given index.
+// dsort backs it with single-record disk reads; the sampling volume is tiny
+// (the paper reports the phase's time as negligible).
+type Sampler func(idx int64) (uint64, error)
+
+// Select runs the sampling phase. Every node of the cluster calls Select
+// with its local record count and sampler; every node returns the same
+// P-1 splitters, sorted ascending. oversample <= 0 selects
+// DefaultOversample. seed makes the sampled indices deterministic.
+func Select(comm *cluster.Comm, localCount int64, sample Sampler, oversample int, seed int64) ([]records.ExtKey, error) {
+	if oversample <= 0 {
+		oversample = DefaultOversample
+	}
+	p := comm.P()
+	rank := comm.Rank()
+
+	// Each node samples oversample*(P-1) local records at random positions
+	// (with replacement; duplicates are harmless thanks to extended keys).
+	nSamples := oversample * (p - 1)
+	rng := rand.New(rand.NewSource(seed ^ int64(rank)*0x9e3779b9))
+	local := make([]records.ExtKey, 0, nSamples)
+	if localCount > 0 {
+		for i := 0; i < nSamples; i++ {
+			idx := rng.Int63n(localCount)
+			key, err := sample(idx)
+			if err != nil {
+				return nil, fmt.Errorf("splitter: sampling record %d on node %d: %w", idx, rank, err)
+			}
+			local = append(local, records.ExtKey{Key: key, Node: uint32(rank), Seq: uint64(idx)})
+		}
+	}
+
+	// Gather all samples at node 0, choose evenly spaced splitters, and
+	// broadcast them.
+	var wire []byte
+	for _, e := range local {
+		wire = EncodeExtKeys(wire, e)
+	}
+	gathered := comm.Gather(0, wire)
+
+	var chosen []byte
+	if rank == 0 {
+		var all []records.ExtKey
+		for _, w := range gathered {
+			all = append(all, DecodeExtKeys(w)...)
+		}
+		if len(all) < p-1 {
+			return nil, fmt.Errorf("splitter: only %d samples for %d partitions", len(all), p)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		for i := 1; i < p; i++ {
+			// The i-th splitter sits at the i/P quantile of the sample.
+			chosen = EncodeExtKeys(chosen, all[i*len(all)/p])
+		}
+	}
+	out := DecodeExtKeys(comm.Bcast(0, chosen))
+	if len(out) != p-1 {
+		return nil, fmt.Errorf("splitter: broadcast delivered %d splitters, want %d", len(out), p-1)
+	}
+	return out, nil
+}
+
+// Partition returns the partition (node rank) a record with extended key e
+// belongs to: partition i receives keys in (splitters[i-1], splitters[i]],
+// with the first and last intervals open-ended.
+func Partition(splitters []records.ExtKey, e records.ExtKey) int {
+	// The first splitter >= e marks the partition; all splitters < e lie in
+	// earlier partitions.
+	return sort.Search(len(splitters), func(i int) bool { return !splitters[i].Less(e) })
+}
+
+// EncodeExtKeys appends the wire form of the given extended keys to dst.
+func EncodeExtKeys(dst []byte, keys ...records.ExtKey) []byte {
+	for _, e := range keys {
+		dst = records.EncodeExtKey(dst, e)
+	}
+	return dst
+}
+
+// DecodeExtKeys parses a concatenation of encoded extended keys.
+func DecodeExtKeys(src []byte) []records.ExtKey {
+	if len(src)%records.ExtKeySize != 0 {
+		panic("splitter: truncated extended-key encoding")
+	}
+	out := make([]records.ExtKey, 0, len(src)/records.ExtKeySize)
+	for off := 0; off < len(src); off += records.ExtKeySize {
+		out = append(out, records.DecodeExtKey(src[off:]))
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package mergetree_test
+
+import (
+	"fmt"
+
+	"github.com/fg-go/fg/mergetree"
+)
+
+// Merging three sorted streams: the tree always names the stream holding
+// the smallest current key.
+func Example() {
+	streams := [][]uint64{
+		{1, 5, 9},
+		{2, 3, 8},
+		{4, 6, 7},
+	}
+	pos := make([]int, len(streams))
+	t := mergetree.New(len(streams))
+	for i, s := range streams {
+		t.Set(i, s[0])
+	}
+	for {
+		i, key, ok := t.Min()
+		if !ok {
+			break
+		}
+		fmt.Print(key, " ")
+		pos[i]++
+		if pos[i] < len(streams[i]) {
+			t.Set(i, streams[i][pos[i]])
+		} else {
+			t.Close(i)
+		}
+	}
+	fmt.Println()
+	// Output:
+	// 1 2 3 4 5 6 7 8 9
+}

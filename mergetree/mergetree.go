@@ -1,0 +1,130 @@
+// Package mergetree implements a tournament (winner) tree for multiway
+// merging: given k input streams, it reports in O(log k) per record which
+// stream currently holds the smallest key. dsort's merge stage uses it to
+// choose, among the buffers it has accepted along its vertical pipelines,
+// "the smallest value not yet chosen" (paper, Section IV).
+package mergetree
+
+import "math"
+
+// closedKey orders after every real key; closed leaves also carry a flag so
+// a real MaxUint64 key is still distinguishable.
+const closedKey = math.MaxUint64
+
+// A Tree tracks the minimum key across k leaves. Leaves start closed; open
+// them with Set and retire them with Close. Not safe for concurrent use —
+// a merge stage is a single thread, per FG's model.
+type Tree struct {
+	k      int
+	leaves int // power of two >= k
+	keys   []uint64
+	open   []bool
+	// node v of the internal tree holds the leaf index winning the
+	// tournament over its subtree; node 1 is the root.
+	winner []int
+}
+
+// New creates a tree over k leaves, all initially closed.
+func New(k int) *Tree {
+	if k < 1 {
+		panic("mergetree: need at least one leaf")
+	}
+	leaves := 1
+	for leaves < k {
+		leaves *= 2
+	}
+	t := &Tree{
+		k:      k,
+		leaves: leaves,
+		keys:   make([]uint64, leaves),
+		open:   make([]bool, leaves),
+		winner: make([]int, 2*leaves),
+	}
+	for i := range t.keys {
+		t.keys[i] = closedKey
+	}
+	for v := range t.winner {
+		t.winner[v] = -1
+	}
+	// Build the initial (all-closed) tournament.
+	for i := 0; i < leaves; i++ {
+		t.winner[leaves+i] = i
+	}
+	for v := leaves - 1; v >= 1; v-- {
+		t.winner[v] = t.playoff(t.winner[2*v], t.winner[2*v+1])
+	}
+	return t
+}
+
+// K returns the number of leaves.
+func (t *Tree) K() int { return t.k }
+
+// playoff returns the winning (smaller-key) leaf of two contestants.
+// Closed leaves lose to open ones; ties go to the lower index, making the
+// merge deterministic.
+func (t *Tree) playoff(a, b int) int {
+	ao, bo := t.open[a], t.open[b]
+	switch {
+	case ao && !bo:
+		return a
+	case bo && !ao:
+		return b
+	case !ao && !bo:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if t.keys[b] < t.keys[a] || (t.keys[a] == t.keys[b] && b < a) {
+		return b
+	}
+	return a
+}
+
+// replay recomputes the tournament along leaf i's path to the root.
+func (t *Tree) replay(i int) {
+	v := (t.leaves + i) / 2
+	for v >= 1 {
+		t.winner[v] = t.playoff(t.winner[2*v], t.winner[2*v+1])
+		v /= 2
+	}
+}
+
+// Set opens leaf i (if closed) and gives it the key of its stream's current
+// record. Call it again whenever the stream advances.
+func (t *Tree) Set(i int, key uint64) {
+	t.checkLeaf(i)
+	t.keys[i] = key
+	t.open[i] = true
+	t.replay(i)
+}
+
+// Close retires leaf i: its stream is exhausted.
+func (t *Tree) Close(i int) {
+	t.checkLeaf(i)
+	t.open[i] = false
+	t.keys[i] = closedKey
+	t.replay(i)
+}
+
+// IsOpen reports whether leaf i currently competes.
+func (t *Tree) IsOpen(i int) bool {
+	t.checkLeaf(i)
+	return t.open[i]
+}
+
+// Min returns the leaf holding the smallest key and that key. ok is false
+// when every leaf is closed.
+func (t *Tree) Min() (leaf int, key uint64, ok bool) {
+	w := t.winner[1]
+	if w < 0 || !t.open[w] {
+		return 0, 0, false
+	}
+	return w, t.keys[w], true
+}
+
+func (t *Tree) checkLeaf(i int) {
+	if i < 0 || i >= t.k {
+		panic("mergetree: leaf index out of range")
+	}
+}

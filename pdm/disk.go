@@ -1,0 +1,268 @@
+// Package pdm provides the storage substrate for the FG sorting programs: a
+// simulated per-node disk with a calibrated latency model, a simple named
+// file layer on top of it, and a Parallel Disk Model (PDM) striped file that
+// spans all the disks of a cluster (block b lives on disk b mod P, as in
+// Vitter and Shriver's model).
+//
+// The paper ran on one Ultra-320 SCSI disk per node, accessed through the C
+// stdio interface. What FG cares about is that disk operations have latency
+// that pipelining can hide, and that a node's single disk serializes its
+// operations. The simulated disk preserves exactly that: each operation
+// costs a fixed positional (seek) latency plus a bandwidth-proportional
+// transfer time, operations on one disk are serialized as by a single head,
+// and the calling goroutine sleeps for the simulated duration — so, like a
+// pthread blocked in read(2), it yields the processor to other pipeline
+// stages. Byte counters record the I/O volume per disk, which the
+// experiment harness uses to reproduce the paper's claim that csort performs
+// roughly 50% more I/O than dsort.
+package pdm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DiskModel gives the simulated cost of disk operations.
+type DiskModel struct {
+	// SeekLatency is charged once per operation, modeling positioning time.
+	SeekLatency time.Duration
+	// BytesPerSecond is the sequential transfer rate; zero means transfers
+	// are free and only seek latency is charged.
+	BytesPerSecond float64
+}
+
+// Cost returns the simulated duration of one operation moving n bytes.
+func (m DiskModel) Cost(n int) time.Duration {
+	d := m.SeekLatency
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(n) / m.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// NullDiskModel charges nothing; useful in unit tests.
+var NullDiskModel = DiskModel{}
+
+// DefaultDiskModel approximates a single 2000s-era SCSI disk, scaled for
+// laptop-sized experiments: 0.2 ms positioning, 100 MB/s sequential.
+var DefaultDiskModel = DiskModel{
+	SeekLatency:    200 * time.Microsecond,
+	BytesPerSecond: 100e6,
+}
+
+// Counters accumulates traffic statistics for one disk.
+type Counters struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+	// Busy is the total simulated time the disk head was occupied.
+	Busy time.Duration
+}
+
+// Add merges another set of counters into c.
+func (c *Counters) Add(o Counters) {
+	c.ReadOps += o.ReadOps
+	c.WriteOps += o.WriteOps
+	c.BytesRead += o.BytesRead
+	c.BytesWritten += o.BytesWritten
+	c.Busy += o.Busy
+}
+
+// TotalBytes returns bytes read plus bytes written.
+func (c Counters) TotalBytes() int64 { return c.BytesRead + c.BytesWritten }
+
+// A Disk is a simulated local disk holding named files. All methods are safe
+// for concurrent use; operations are serialized per disk, as by one head.
+type Disk struct {
+	model DiskModel
+
+	mu    sync.Mutex // guards the fields below
+	files map[string]*fileData
+	stats Counters
+	fault func(op, name string, off int64) error
+
+	head CostGate // serializes the simulated busy time of the single head
+}
+
+type fileData struct {
+	data []byte
+}
+
+// NewDisk returns an empty disk with the given cost model.
+func NewDisk(model DiskModel) *Disk {
+	return &Disk{model: model, files: make(map[string]*fileData)}
+}
+
+// Model returns the disk's cost model.
+func (d *Disk) Model() DiskModel { return d.model }
+
+// Stats returns a snapshot of the disk's traffic counters.
+func (d *Disk) Stats() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the traffic counters, e.g. between experiment passes.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Counters{}
+}
+
+// Remove deletes a file if it exists.
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// Size returns the current size of a file, or 0 if it does not exist.
+func (d *Disk) Size(name string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return 0
+}
+
+// WriteAt writes p into the named file at offset off, creating or growing
+// the file as needed. It blocks for the simulated duration of the write.
+func (d *Disk) WriteAt(name string, p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pdm: negative offset %d writing %q", off, name)
+	}
+	d.mu.Lock()
+	if err := d.checkFault("write", name, off); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	f := d.files[name]
+	if f == nil {
+		f = &fileData{}
+		d.files[name] = f
+	}
+	if need := int(off) + len(p); need > len(f.data) {
+		if need <= cap(f.data) {
+			f.data = f.data[:need]
+		} else {
+			grown := make([]byte, need, grow(cap(f.data), need))
+			copy(grown, f.data)
+			f.data = grown
+		}
+	}
+	copy(f.data[off:], p)
+	cost := d.model.Cost(len(p))
+	d.stats.WriteOps++
+	d.stats.BytesWritten += int64(len(p))
+	d.stats.Busy += cost
+	d.mu.Unlock()
+
+	// The head is modeled as busy for the whole operation; holding the lock
+	// while sleeping would also block same-disk readers, which is correct
+	// for a single head, but it would additionally serialize metadata
+	// queries. Sleep after releasing the lock and rely on the head mutex.
+	d.occupyHead(cost)
+	return nil
+}
+
+// ReadAt fills p from the named file at offset off. The file must contain
+// the full range. It blocks for the simulated duration of the read.
+func (d *Disk) ReadAt(name string, p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pdm: negative offset %d reading %q", off, name)
+	}
+	d.mu.Lock()
+	if err := d.checkFault("read", name, off); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	f := d.files[name]
+	if f == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("pdm: file %q does not exist", name)
+	}
+	if int(off)+len(p) > len(f.data) {
+		n := len(f.data)
+		d.mu.Unlock()
+		return fmt.Errorf("pdm: read [%d,%d) beyond end of %q (size %d)",
+			off, off+int64(len(p)), name, n)
+	}
+	copy(p, f.data[off:])
+	cost := d.model.Cost(len(p))
+	d.stats.ReadOps++
+	d.stats.BytesRead += int64(len(p))
+	d.stats.Busy += cost
+	d.mu.Unlock()
+
+	d.occupyHead(cost)
+	return nil
+}
+
+// occupyHead charges the simulated duration of an operation through the
+// head's cost gate, which serializes concurrent operations so that two
+// stages hitting the same disk cannot overlap their simulated transfer
+// times, and which compensates for scheduler sleep overshoot.
+func (d *Disk) occupyHead(cost time.Duration) {
+	d.head.Charge(cost)
+}
+
+// grow returns a capacity at least need, doubling from cur to amortize.
+func grow(cur, need int) int {
+	if cur == 0 {
+		cur = 1024
+	}
+	for cur < need {
+		cur *= 2
+	}
+	return cur
+}
+
+// Import stores data as the named file's full contents without charging any
+// simulated cost. It exists for experiment setup — generating a sort's
+// input is not part of the measured computation.
+func (d *Disk) Import(name string, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &fileData{data: make([]byte, len(data))}
+	copy(f.data, data)
+	d.files[name] = f
+}
+
+// Export returns a copy of the named file's contents without charging any
+// simulated cost. It exists for verification — checking a sort's output is
+// not part of the measured computation. Export of a missing file returns
+// nil.
+func (d *Disk) Export(name string) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		return nil
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out
+}
+
+// SetFault installs a fault injector: before every read or write, fn is
+// called with the operation ("read" or "write"), the file name, and the
+// offset; a non-nil return fails the operation with that error. Passing nil
+// clears the injector. Tests use it to prove that I/O errors surface
+// through pipelines instead of hanging them.
+func (d *Disk) SetFault(fn func(op, name string, off int64) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = fn
+}
+
+// checkFault consults the injector under d.mu.
+func (d *Disk) checkFault(op, name string, off int64) error {
+	if d.fault == nil {
+		return nil
+	}
+	return d.fault(op, name, off)
+}

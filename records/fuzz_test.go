@@ -1,0 +1,53 @@
+package records
+
+import (
+	"testing"
+)
+
+// FuzzExtKeyRoundTrip checks that every extended key survives encoding and
+// that wire order always agrees with Compare.
+func FuzzExtKeyRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0), uint64(0), uint64(1), uint32(1), uint64(1))
+	f.Add(^uint64(0), ^uint32(0), ^uint64(0), uint64(42), uint32(7), uint64(9))
+	f.Fuzz(func(t *testing.T, k1 uint64, n1 uint32, s1 uint64, k2 uint64, n2 uint32, s2 uint64) {
+		a := ExtKey{Key: k1, Node: n1, Seq: s1}
+		b := ExtKey{Key: k2, Node: n2, Seq: s2}
+		if DecodeExtKey(EncodeExtKey(nil, a)) != a {
+			t.Fatalf("round trip lost %v", a)
+		}
+		wa := string(EncodeExtKey(nil, a))
+		wb := string(EncodeExtKey(nil, b))
+		switch a.Compare(b) {
+		case -1:
+			if wa >= wb {
+				t.Fatalf("wire order disagrees: %v < %v", a, b)
+			}
+		case 0:
+			if wa != wb {
+				t.Fatalf("equal keys encode differently")
+			}
+		case 1:
+			if wa <= wb {
+				t.Fatalf("wire order disagrees: %v > %v", a, b)
+			}
+		}
+	})
+}
+
+// FuzzFloatKeyOrder checks the order-preserving float encoding across
+// arbitrary bit patterns.
+func FuzzFloatKeyOrder(f *testing.F) {
+	f.Add(0.0, 1.0)
+	f.Add(-1.5, 1.5)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		if x != x || y != y { // NaN
+			return
+		}
+		if (x < y) != (FloatKey(x) < FloatKey(y)) {
+			t.Fatalf("FloatKey order broken for %g vs %g", x, y)
+		}
+		if KeyFloat(FloatKey(x)) != x {
+			t.Fatalf("FloatKey round trip lost %g", x)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package records
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Records whose payload is at least 8 bytes (total size >= 16) can carry a
+// unique identifier in the first 8 payload bytes. The sorting programs stamp
+// every generated record with its origin so that verification can confirm
+// the output is a permutation of the input without keeping a copy of it.
+
+// idSeqBits is how many bits of the identifier hold the sequence number;
+// the remaining high bits hold the origin node rank.
+const idSeqBits = 40
+
+// MaxIDSeq is the largest per-node sequence number an identifier can carry.
+const MaxIDSeq = 1<<idSeqBits - 1
+
+// MakeID packs an origin node rank and per-node sequence number into a
+// unique 64-bit record identifier.
+func MakeID(node uint32, seq uint64) uint64 {
+	if seq > MaxIDSeq {
+		panic(fmt.Sprintf("records: sequence number %d exceeds %d", seq, uint64(MaxIDSeq)))
+	}
+	return uint64(node)<<idSeqBits | seq
+}
+
+// SplitID unpacks an identifier produced by MakeID.
+func SplitID(id uint64) (node uint32, seq uint64) {
+	return uint32(id >> idSeqBits), id & MaxIDSeq
+}
+
+// HasID reports whether records of this format have room for an identifier.
+func (f Format) HasID() bool { return f.Size >= KeySize+8 }
+
+// StampID writes id into the identifier slot of record rec.
+// It panics if the format has no room for an identifier.
+func (f Format) StampID(rec []byte, id uint64) {
+	if !f.HasID() {
+		panic("records: format too small to carry an identifier")
+	}
+	binary.BigEndian.PutUint64(rec[KeySize:KeySize+8], id)
+}
+
+// ID returns the identifier stamped on rec.
+func (f Format) ID(rec []byte) uint64 {
+	if !f.HasID() {
+		panic("records: format too small to carry an identifier")
+	}
+	return binary.BigEndian.Uint64(rec[KeySize : KeySize+8])
+}
+
+// IDAt returns the identifier of record i within data.
+func (f Format) IDAt(data []byte, i int) uint64 {
+	return f.ID(f.At(data, i))
+}
+
+// Fingerprint returns an order-independent fingerprint of the records in
+// data: a commutative mix of each record's key and identifier. Two byte
+// streams that contain the same multiset of (key, id) pairs have equal
+// fingerprints regardless of record order, so comparing the fingerprint of
+// a sort's input against its output checks that the output is (with high
+// probability) a permutation of the input.
+func (f Format) Fingerprint(data []byte) Fingerprint {
+	var fp Fingerprint
+	n := f.Count(len(data))
+	for i := 0; i < n; i++ {
+		fp.Add(f.KeyAt(data, i), f.IDAt(data, i))
+	}
+	return fp
+}
+
+// A Fingerprint accumulates an order-independent digest of (key, id) pairs.
+// The zero value is ready to use, and fingerprints of disjoint data combine
+// with Merge.
+type Fingerprint struct {
+	Count uint64 // number of records folded in
+	Sum   uint64 // commutative mixed sum
+	Xor   uint64 // commutative mixed xor
+}
+
+// Add folds one (key, id) pair into the fingerprint.
+func (fp *Fingerprint) Add(key, id uint64) {
+	h := mix64(key*0x9e3779b97f4a7c15 ^ id)
+	fp.Count++
+	fp.Sum += h
+	fp.Xor ^= h
+}
+
+// Merge folds another fingerprint into fp.
+func (fp *Fingerprint) Merge(o Fingerprint) {
+	fp.Count += o.Count
+	fp.Sum += o.Sum
+	fp.Xor ^= o.Xor
+}
+
+// Equal reports whether two fingerprints are identical.
+func (fp Fingerprint) Equal(o Fingerprint) bool { return fp == o }
+
+// String formats the fingerprint for diagnostics.
+func (fp Fingerprint) String() string {
+	return fmt.Sprintf("{n=%d sum=%#x xor=%#x}", fp.Count, fp.Sum, fp.Xor)
+}
+
+// mix64 is the SplitMix64 finalizer, a cheap strong 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,181 @@
+// Package records defines the fixed-size record format used throughout the
+// FG sorting programs.
+//
+// A record consists of an 8-byte sort key followed by an arbitrary payload;
+// the paper's experiments use 16-byte and 64-byte records. Keys are stored
+// big-endian so that bytes.Compare on the first 8 bytes agrees with uint64
+// comparison; this lets block-level operations move records without decoding
+// them.
+//
+// The package also implements extended keys (Section V of the paper): a
+// record's key augmented with its origin node and sequence number so that
+// every extended key in the input is unique. Splitters are extended keys;
+// comparing records to splitters through their extended keys guarantees a
+// deterministic, near-balanced partition even when many sort keys are equal.
+package records
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// KeySize is the size in bytes of the sort key at the start of every record.
+const KeySize = 8
+
+// MinRecordSize is the smallest legal record: a bare key.
+const MinRecordSize = KeySize
+
+// Format describes a fixed-size record layout.
+type Format struct {
+	// Size is the total record size in bytes, including the key.
+	Size int
+}
+
+// NewFormat returns a Format for records of the given total size.
+// It panics if size is smaller than MinRecordSize.
+func NewFormat(size int) Format {
+	if size < MinRecordSize {
+		panic(fmt.Sprintf("records: record size %d smaller than key size %d", size, KeySize))
+	}
+	return Format{Size: size}
+}
+
+// Key extracts the sort key of the record starting at rec[0].
+func (f Format) Key(rec []byte) uint64 {
+	return binary.BigEndian.Uint64(rec[:KeySize])
+}
+
+// SetKey stores key at the front of rec.
+func (f Format) SetKey(rec []byte, key uint64) {
+	binary.BigEndian.PutUint64(rec[:KeySize], key)
+}
+
+// Count returns how many whole records fit in n bytes.
+// It panics if n is not a multiple of the record size.
+func (f Format) Count(n int) int {
+	if n%f.Size != 0 {
+		panic(fmt.Sprintf("records: %d bytes is not a whole number of %d-byte records", n, f.Size))
+	}
+	return n / f.Size
+}
+
+// Bytes returns the number of bytes occupied by n records.
+func (f Format) Bytes(n int) int { return n * f.Size }
+
+// At returns the sub-slice of data holding record i.
+func (f Format) At(data []byte, i int) []byte {
+	return data[i*f.Size : (i+1)*f.Size]
+}
+
+// KeyAt returns the sort key of record i within data.
+func (f Format) KeyAt(data []byte, i int) uint64 {
+	return binary.BigEndian.Uint64(data[i*f.Size:])
+}
+
+// Less reports whether record i sorts strictly before record j within data,
+// comparing by sort key only.
+func (f Format) Less(data []byte, i, j int) bool {
+	return f.KeyAt(data, i) < f.KeyAt(data, j)
+}
+
+// PayloadAt returns the payload (everything after the key) of record i.
+func (f Format) PayloadAt(data []byte, i int) []byte {
+	return data[i*f.Size+KeySize : (i+1)*f.Size]
+}
+
+// IsSorted reports whether the records in data are in nondecreasing key order.
+func (f Format) IsSorted(data []byte) bool {
+	n := f.Count(len(data))
+	for i := 1; i < n; i++ {
+		if f.KeyAt(data, i) < f.KeyAt(data, i-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtKey is an extended key: the sort key plus the record's provenance,
+// which makes every extended key in an input unique. Extended keys never
+// become part of a record; they exist only while deciding where to send it
+// (paper, Section V).
+type ExtKey struct {
+	Key  uint64 // the record's sort key
+	Node uint32 // rank of the node the record originated on
+	Seq  uint64 // index of the record within its origin node's input
+}
+
+// Less reports whether e orders strictly before o, comparing
+// (Key, Node, Seq) lexicographically.
+func (e ExtKey) Less(o ExtKey) bool {
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	if e.Node != o.Node {
+		return e.Node < o.Node
+	}
+	return e.Seq < o.Seq
+}
+
+// Compare returns -1, 0, or +1 according to the lexicographic order of
+// (Key, Node, Seq).
+func (e ExtKey) Compare(o ExtKey) int {
+	switch {
+	case e.Less(o):
+		return -1
+	case o.Less(e):
+		return +1
+	default:
+		return 0
+	}
+}
+
+// String formats the extended key for diagnostics.
+func (e ExtKey) String() string {
+	return fmt.Sprintf("(%#x,n%d,#%d)", e.Key, e.Node, e.Seq)
+}
+
+// MaxExtKey is an extended key that orders at or after every extended key
+// that can occur in an input.
+var MaxExtKey = ExtKey{Key: math.MaxUint64, Node: math.MaxUint32, Seq: math.MaxUint64}
+
+// ExtKeySize is the wire size of an encoded extended key.
+const ExtKeySize = 8 + 4 + 8
+
+// EncodeExtKey appends the wire form of e to dst and returns the result.
+func EncodeExtKey(dst []byte, e ExtKey) []byte {
+	var buf [ExtKeySize]byte
+	binary.BigEndian.PutUint64(buf[0:8], e.Key)
+	binary.BigEndian.PutUint32(buf[8:12], e.Node)
+	binary.BigEndian.PutUint64(buf[12:20], e.Seq)
+	return append(dst, buf[:]...)
+}
+
+// DecodeExtKey decodes one extended key from the front of src.
+func DecodeExtKey(src []byte) ExtKey {
+	return ExtKey{
+		Key:  binary.BigEndian.Uint64(src[0:8]),
+		Node: binary.BigEndian.Uint32(src[8:12]),
+		Seq:  binary.BigEndian.Uint64(src[12:20]),
+	}
+}
+
+// FloatKey maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order (NaNs order after +Inf). It is the standard
+// order-preserving bit trick: positive floats get their sign bit flipped;
+// negative floats get all bits flipped.
+func FloatKey(x float64) uint64 {
+	b := math.Float64bits(x)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// KeyFloat inverts FloatKey.
+func KeyFloat(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}

@@ -1,0 +1,348 @@
+package records
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFormatPanicsOnTinyRecord(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFormat(4) did not panic")
+		}
+	}()
+	NewFormat(4)
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := NewFormat(16)
+	rec := make([]byte, 16)
+	for _, key := range []uint64{0, 1, math.MaxUint64, 0xdeadbeefcafef00d} {
+		f.SetKey(rec, key)
+		if got := f.Key(rec); got != key {
+			t.Errorf("Key round trip: got %#x, want %#x", got, key)
+		}
+	}
+}
+
+func TestKeyOrderMatchesByteOrder(t *testing.T) {
+	// Big-endian keys must compare the same as raw bytes so block-level code
+	// can compare records without decoding.
+	f := NewFormat(16)
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ka, kb := rng.Uint64(), rng.Uint64()
+		f.SetKey(a, ka)
+		f.SetKey(b, kb)
+		byteLess := string(a[:8]) < string(b[:8])
+		if byteLess != (ka < kb) {
+			t.Fatalf("byte order disagrees with key order for %#x vs %#x", ka, kb)
+		}
+	}
+}
+
+func TestCountAndBytes(t *testing.T) {
+	f := NewFormat(64)
+	if got := f.Count(640); got != 10 {
+		t.Errorf("Count(640) = %d, want 10", got)
+	}
+	if got := f.Bytes(10); got != 640 {
+		t.Errorf("Bytes(10) = %d, want 640", got)
+	}
+}
+
+func TestCountPanicsOnPartialRecord(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Count on a partial record did not panic")
+		}
+	}()
+	NewFormat(16).Count(17)
+}
+
+func TestAtAndKeyAt(t *testing.T) {
+	f := NewFormat(16)
+	data := make([]byte, f.Bytes(8))
+	for i := 0; i < 8; i++ {
+		f.SetKey(f.At(data, i), uint64(100+i))
+	}
+	for i := 0; i < 8; i++ {
+		if got := f.KeyAt(data, i); got != uint64(100+i) {
+			t.Errorf("KeyAt(%d) = %d, want %d", i, got, 100+i)
+		}
+	}
+	if !f.IsSorted(data) {
+		t.Error("ascending keys reported unsorted")
+	}
+	f.SetKey(f.At(data, 3), 0)
+	if f.IsSorted(data) {
+		t.Error("descending pair reported sorted")
+	}
+}
+
+func TestLess(t *testing.T) {
+	f := NewFormat(16)
+	data := make([]byte, f.Bytes(2))
+	f.SetKey(f.At(data, 0), 5)
+	f.SetKey(f.At(data, 1), 7)
+	if !f.Less(data, 0, 1) || f.Less(data, 1, 0) || f.Less(data, 0, 0) {
+		t.Error("Less gives wrong order for keys 5, 7")
+	}
+}
+
+func TestPayloadAt(t *testing.T) {
+	f := NewFormat(16)
+	data := make([]byte, f.Bytes(2))
+	p := f.PayloadAt(data, 1)
+	if len(p) != 8 {
+		t.Fatalf("payload length = %d, want 8", len(p))
+	}
+	p[0] = 0xab
+	if data[16+8] != 0xab {
+		t.Error("payload slice does not alias record storage")
+	}
+}
+
+func TestExtKeyOrdering(t *testing.T) {
+	cases := []struct {
+		a, b records
+		want int
+	}{
+		{records{1, 0, 0}, records{2, 0, 0}, -1},
+		{records{2, 0, 0}, records{1, 9, 9}, +1},
+		{records{1, 1, 0}, records{1, 2, 0}, -1},
+		{records{1, 1, 5}, records{1, 1, 6}, -1},
+		{records{1, 1, 5}, records{1, 1, 5}, 0},
+	}
+	for _, c := range cases {
+		a := ExtKey{c.a[0], uint32(c.a[1]), c.a[2]}
+		b := ExtKey{c.b[0], uint32(c.b[1]), c.b[2]}
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", a, b, got, c.want)
+		}
+		if got := a.Less(b); got != (c.want < 0) {
+			t.Errorf("Less(%v, %v) = %v, want %v", a, b, got, c.want < 0)
+		}
+	}
+}
+
+type records [3]uint64
+
+func TestMaxExtKeyIsMaximal(t *testing.T) {
+	if MaxExtKey.Less(ExtKey{math.MaxUint64, math.MaxUint32, math.MaxUint64 - 1}) {
+		t.Error("MaxExtKey not maximal")
+	}
+	if MaxExtKey.Less(MaxExtKey) {
+		t.Error("MaxExtKey less than itself")
+	}
+}
+
+func TestExtKeyEncodeDecodeQuick(t *testing.T) {
+	f := func(key uint64, node uint32, seq uint64) bool {
+		e := ExtKey{Key: key, Node: node, Seq: seq}
+		buf := EncodeExtKey(nil, e)
+		if len(buf) != ExtKeySize {
+			return false
+		}
+		return DecodeExtKey(buf) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtKeyWireOrderMatchesCompare(t *testing.T) {
+	// The big-endian wire encoding must order the same way as Compare, so
+	// splitter handling can compare encodings directly if it wants to.
+	f := func(a, b ExtKey) bool {
+		wa := string(EncodeExtKey(nil, a))
+		wb := string(EncodeExtKey(nil, b))
+		switch a.Compare(b) {
+		case -1:
+			return wa < wb
+		case 0:
+			return wa == wb
+		default:
+			return wa > wb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeyPreservesOrder(t *testing.T) {
+	xs := []float64{math.Inf(-1), -1e300, -2.5, -1, -math.SmallestNonzeroFloat64,
+		0, math.SmallestNonzeroFloat64, 0.5, 1, 3.25, 1e300, math.Inf(1)}
+	for i := 1; i < len(xs); i++ {
+		if FloatKey(xs[i-1]) >= FloatKey(xs[i]) {
+			t.Errorf("FloatKey order violated at %g < %g", xs[i-1], xs[i])
+		}
+	}
+}
+
+func TestFloatKeyRoundTripQuick(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true // NaN has no round-trip identity
+		}
+		return KeyFloat(FloatKey(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeyMatchesSortOrderQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return (a < b) == (FloatKey(a) < FloatKey(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeSplitIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		node uint32
+		seq  uint64
+	}{{0, 0}, {15, 12345}, {1 << 20, MaxIDSeq}}
+	for _, c := range cases {
+		node, seq := SplitID(MakeID(c.node, c.seq))
+		if node != c.node || seq != c.seq {
+			t.Errorf("SplitID(MakeID(%d, %d)) = (%d, %d)", c.node, c.seq, node, seq)
+		}
+	}
+}
+
+func TestMakeIDPanicsOnHugeSeq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeID with out-of-range seq did not panic")
+		}
+	}()
+	MakeID(0, MaxIDSeq+1)
+}
+
+func TestIDStamping(t *testing.T) {
+	f := NewFormat(16)
+	if !f.HasID() {
+		t.Fatal("16-byte format should carry an identifier")
+	}
+	data := make([]byte, f.Bytes(3))
+	for i := 0; i < 3; i++ {
+		f.StampID(f.At(data, i), MakeID(7, uint64(i)))
+	}
+	for i := 0; i < 3; i++ {
+		node, seq := SplitID(f.IDAt(data, i))
+		if node != 7 || seq != uint64(i) {
+			t.Errorf("record %d carries id (%d, %d)", i, node, seq)
+		}
+	}
+}
+
+func TestSmallFormatHasNoID(t *testing.T) {
+	f := NewFormat(8)
+	if f.HasID() {
+		t.Fatal("8-byte format cannot carry an identifier")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StampID on keys-only format did not panic")
+		}
+	}()
+	f.StampID(make([]byte, 8), 1)
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	f := NewFormat(16)
+	const n = 200
+	data := make([]byte, f.Bytes(n))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		f.SetKey(f.At(data, i), rng.Uint64())
+		f.StampID(f.At(data, i), MakeID(3, uint64(i)))
+	}
+	before := f.Fingerprint(data)
+
+	perm := rng.Perm(n)
+	shuffled := make([]byte, len(data))
+	for i, j := range perm {
+		copy(f.At(shuffled, j), f.At(data, i))
+	}
+	if got := f.Fingerprint(shuffled); !got.Equal(before) {
+		t.Errorf("fingerprint changed under permutation: %v vs %v", got, before)
+	}
+}
+
+func TestFingerprintDetectsMutation(t *testing.T) {
+	f := NewFormat(16)
+	const n = 64
+	data := make([]byte, f.Bytes(n))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		f.SetKey(f.At(data, i), rng.Uint64())
+		f.StampID(f.At(data, i), MakeID(0, uint64(i)))
+	}
+	before := f.Fingerprint(data)
+	f.SetKey(f.At(data, 17), f.KeyAt(data, 17)+1)
+	if f.Fingerprint(data).Equal(before) {
+		t.Error("fingerprint failed to detect a key mutation")
+	}
+}
+
+func TestFingerprintMerge(t *testing.T) {
+	f := NewFormat(16)
+	const n = 100
+	data := make([]byte, f.Bytes(n))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		f.SetKey(f.At(data, i), rng.Uint64())
+		f.StampID(f.At(data, i), MakeID(1, uint64(i)))
+	}
+	whole := f.Fingerprint(data)
+	half := f.Bytes(n / 2)
+	left := f.Fingerprint(data[:half])
+	right := f.Fingerprint(data[half:])
+	left.Merge(right)
+	if !left.Equal(whole) {
+		t.Errorf("merged fingerprint %v differs from whole %v", left, whole)
+	}
+}
+
+func TestFingerprintCount(t *testing.T) {
+	f := NewFormat(16)
+	data := make([]byte, f.Bytes(5))
+	for i := 0; i < 5; i++ {
+		f.StampID(f.At(data, i), uint64(i))
+	}
+	if got := f.Fingerprint(data).Count; got != 5 {
+		t.Errorf("fingerprint count = %d, want 5", got)
+	}
+}
+
+func TestIsSortedAgreesWithSort(t *testing.T) {
+	f := NewFormat(16)
+	const n = 128
+	data := make([]byte, f.Bytes(n))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		f.SetKey(f.At(data, i), rng.Uint64()%16) // duplicates likely
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = f.KeyAt(data, i)
+	}
+	sorted := sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if got := f.IsSorted(data); got != sorted {
+		t.Errorf("IsSorted = %v, sort.SliceIsSorted = %v", got, sorted)
+	}
+}

@@ -1,0 +1,158 @@
+package transpose
+
+import (
+	"testing"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/records"
+)
+
+// fill gives every element a unique, position-derived key.
+func fill(row, col int) uint64 {
+	return uint64(row)<<20 | uint64(col)
+}
+
+func runTranspose(t *testing.T, s Spec, p int) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: p})
+	if err := Generate(c, s, fill); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Run(func(n *cluster.Node) error { return Run(n, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(c, s, fill); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeSquare(t *testing.T) {
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 128, 128, 16
+	runTranspose(t, s, 4)
+}
+
+func TestTransposeRectangular(t *testing.T) {
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 256, 64, 8
+	runTranspose(t, s, 4)
+
+	s.Rows, s.Cols, s.BandRows = 64, 256, 16
+	runTranspose(t, s, 4)
+}
+
+func TestTransposeSingleNode(t *testing.T) {
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 64, 64, 64
+	runTranspose(t, s, 1)
+}
+
+func TestTransposeLargeElements(t *testing.T) {
+	s := DefaultSpec()
+	s.Format = records.NewFormat(64)
+	s.Rows, s.Cols, s.BandRows = 64, 64, 8
+	runTranspose(t, s, 4)
+}
+
+func TestTransposeSingleRound(t *testing.T) {
+	// BandRows equal to the whole per-node band: one round.
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 64, 128, 16
+	runTranspose(t, s, 4)
+}
+
+func TestTransposeManyNodes(t *testing.T) {
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 256, 256, 8
+	runTranspose(t, s, 8)
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := DefaultSpec()
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		p    int
+	}{
+		{"zero rows", func(s *Spec) { s.Rows = 0 }, 4},
+		{"rows not divisible", func(s *Spec) { s.Rows = 513 }, 4},
+		{"cols not divisible", func(s *Spec) { s.Cols = 514 }, 4},
+		{"band too big", func(s *Spec) { s.BandRows = 512 }, 4},
+		{"band not dividing", func(s *Spec) { s.BandRows = 48 }, 4},
+		{"zero nodes", func(s *Spec) {}, 0},
+		{"name clash", func(s *Spec) { s.OutputName = s.InputName }, 4},
+	}
+	for _, c := range cases {
+		s := base
+		c.mut(&s)
+		if err := s.Validate(c.p); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 64, 64, 16
+	c := cluster.New(cluster.Config{Nodes: 4})
+	if err := Generate(c, s, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func(n *cluster.Node) error { return Run(n, s) }); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Node(2).Disk
+	data := d.Export(s.OutputName)
+	data[17] ^= 0xff
+	d.Import(s.OutputName, data)
+	if err := Verify(c, s, fill); err == nil {
+		t.Fatal("corrupted transpose accepted")
+	}
+}
+
+func TestDoubleTransposeIsIdentity(t *testing.T) {
+	// Transpose twice: the second output must equal the original input.
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 128, 64, 16
+	c := cluster.New(cluster.Config{Nodes: 4})
+	if err := Generate(c, s, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func(n *cluster.Node) error { return Run(n, s) }); err != nil {
+		t.Fatal(err)
+	}
+	back := Spec{
+		Format: s.Format, Rows: s.Cols, Cols: s.Rows, BandRows: 16,
+		InputName: s.OutputName, OutputName: "matrix.TT",
+	}
+	if err := c.Run(func(n *cluster.Node) error { return Run(n, back) }); err != nil {
+		t.Fatal(err)
+	}
+	// Verify matrix.TT as a transpose of the transpose: element (r, c) of
+	// it must be fill(r, c).
+	if err := Verify(c, back, func(row, col int) uint64 { return fill(col, row) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeBalancedIO(t *testing.T) {
+	// Every node reads and writes exactly its share.
+	s := DefaultSpec()
+	s.Rows, s.Cols, s.BandRows = 128, 128, 16
+	c := cluster.New(cluster.Config{Nodes: 4})
+	if err := Generate(c, s, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func(n *cluster.Node) error { return Run(n, s) }); err != nil {
+		t.Fatal(err)
+	}
+	share := int64(s.Rows / 4 * s.Cols * s.Format.Size)
+	for rank, d := range c.Disks() {
+		st := d.Stats()
+		if st.BytesRead != share || st.BytesWritten != share {
+			t.Errorf("node %d moved read=%d write=%d bytes, want %d each",
+				rank, st.BytesRead, st.BytesWritten, share)
+		}
+	}
+}

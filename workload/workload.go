@@ -1,0 +1,195 @@
+// Package workload generates record inputs with the key distributions used
+// in the paper's evaluation (Section VI): uniform random, all keys equal,
+// standard normal, and Poisson with lambda = 1. It also provides adversarial
+// distributions designed to elicit highly unbalanced communication in pass 1
+// of dsort, matching the skew experiment the paper mentions but does not
+// detail.
+//
+// Generation is deterministic given a seed, and per-node streams are
+// independent (node rank is folded into the stream seed), so a cluster can
+// generate its input in parallel and the result does not depend on the
+// number of generating goroutines.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/fg-go/fg/records"
+)
+
+// Distribution identifies a key distribution.
+type Distribution int
+
+const (
+	// Uniform draws keys uniformly from the full 64-bit range.
+	Uniform Distribution = iota
+	// AllEqual gives every record the same key.
+	AllEqual
+	// StdNormal draws keys from a standard normal distribution, mapped to
+	// uint64 by the order-preserving float encoding.
+	StdNormal
+	// Poisson draws keys from a Poisson distribution with lambda = 1;
+	// nearly all mass falls on a handful of small integers, producing
+	// massive duplication.
+	Poisson
+	// SkewOneNode is adversarial: almost every key falls in a narrow range,
+	// so in dsort nearly all records stream toward one node in pass 1.
+	SkewOneNode
+	// SkewZipf is adversarial: key popularity follows a Zipf-like law, so a
+	// few nodes receive far more than the average volume in pass 1.
+	SkewZipf
+)
+
+// Distributions lists the four distributions evaluated in Figure 8, in the
+// order the paper presents them.
+var Distributions = []Distribution{Uniform, AllEqual, StdNormal, Poisson}
+
+// SkewDistributions lists the adversarial distributions for the unbalanced
+// communication experiment.
+var SkewDistributions = []Distribution{SkewOneNode, SkewZipf}
+
+// String returns the distribution's display name as used in the paper.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform random"
+	case AllEqual:
+		return "all equal"
+	case StdNormal:
+		return "std normal"
+	case Poisson:
+		return "poisson"
+	case SkewOneNode:
+		return "skew one-node"
+	case SkewZipf:
+		return "skew zipf"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a command-line name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "allequal", "all-equal":
+		return AllEqual, nil
+	case "normal", "stdnormal", "std-normal":
+		return StdNormal, nil
+	case "poisson":
+		return Poisson, nil
+	case "skew-one-node", "skewonenode":
+		return SkewOneNode, nil
+	case "skew-zipf", "skewzipf":
+		return SkewZipf, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown distribution %q", s)
+	}
+}
+
+// A Generator produces the record stream for one node of the cluster.
+type Generator struct {
+	format records.Format
+	dist   Distribution
+	node   uint32
+	seq    uint64
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+}
+
+// NewGenerator returns a generator for the given node's share of an input.
+// Streams for different (seed, node) pairs are independent.
+func NewGenerator(f records.Format, d Distribution, seed int64, node uint32) *Generator {
+	streamSeed := seed*0x5deece66d + int64(node)*0x2545f4914f6cdd1d + 1
+	rng := rand.New(rand.NewSource(streamSeed))
+	g := &Generator{format: f, dist: d, node: node, rng: rng}
+	if d == SkewZipf {
+		// s=1.5, v=1 over a modest universe of distinct keys: the head key
+		// alone draws a large constant fraction of all records.
+		g.zipf = rand.NewZipf(rng, 1.5, 1, 1<<20)
+	}
+	return g
+}
+
+// Node returns the node rank this generator produces records for.
+func (g *Generator) Node() uint32 { return g.node }
+
+// Seq returns the sequence number the next generated record will carry.
+func (g *Generator) Seq() uint64 { return g.seq }
+
+// NextKey draws the next key from the distribution.
+func (g *Generator) NextKey() uint64 {
+	switch g.dist {
+	case Uniform:
+		return g.rng.Uint64()
+	case AllEqual:
+		return 0x4242424242424242
+	case StdNormal:
+		return records.FloatKey(g.rng.NormFloat64())
+	case Poisson:
+		return poissonSample(g.rng, 1.0)
+	case SkewOneNode:
+		// 95% of keys land in a sliver that is far narrower than 1/P of the
+		// key space for any practical P; the rest are uniform so splitters
+		// still exist.
+		if g.rng.Float64() < 0.95 {
+			const base = uint64(1) << 62
+			return base + uint64(g.rng.Intn(1<<16))
+		}
+		return g.rng.Uint64()
+	case SkewZipf:
+		return g.zipf.Uint64()
+	default:
+		panic(fmt.Sprintf("workload: invalid distribution %d", int(g.dist)))
+	}
+}
+
+// Fill writes complete records into buf, which must hold a whole number of
+// records. Each record gets a fresh key; if the format carries identifiers,
+// each record is stamped with its origin (node, seq). Fill returns the
+// number of records written.
+func (g *Generator) Fill(buf []byte) int {
+	n := g.format.Count(len(buf))
+	for i := 0; i < n; i++ {
+		rec := g.format.At(buf, i)
+		g.format.SetKey(rec, g.NextKey())
+		if g.format.HasID() {
+			g.format.StampID(rec, records.MakeID(g.node, g.seq))
+		}
+		fillPayload(rec[records.KeySize:], g.node, g.seq)
+		g.seq++
+	}
+	return n
+}
+
+// fillPayload deterministically fills payload bytes beyond the identifier
+// slot, so larger records carry non-trivial content.
+func fillPayload(p []byte, node uint32, seq uint64) {
+	start := 0
+	if len(p) >= 8 {
+		start = 8 // identifier slot, stamped separately
+	}
+	x := uint64(node)*0x9e3779b97f4a7c15 + seq
+	for i := start; i < len(p); i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		p[i] = byte(x >> 56)
+	}
+}
+
+// poissonSample draws from Poisson(lambda) by Knuth's product-of-uniforms
+// method, which is exact and fast for small lambda.
+func poissonSample(rng *rand.Rand, lambda float64) uint64 {
+	limit := math.Exp(-lambda)
+	var k uint64
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fg-go/fg/records"
+)
+
+func genKeys(t *testing.T, d Distribution, n int) []uint64 {
+	t.Helper()
+	g := NewGenerator(records.NewFormat(16), d, 1, 0)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = g.NextKey()
+	}
+	return keys
+}
+
+func TestUniformSpread(t *testing.T) {
+	keys := genKeys(t, Uniform, 10000)
+	// Bucket the top 3 bits; each of the 8 buckets should get roughly 1/8.
+	var buckets [8]int
+	for _, k := range keys {
+		buckets[k>>61]++
+	}
+	for b, c := range buckets {
+		if c < 1000 || c > 1600 {
+			t.Errorf("bucket %d holds %d of 10000 uniform keys; expected ~1250", b, c)
+		}
+	}
+}
+
+func TestAllEqual(t *testing.T) {
+	keys := genKeys(t, AllEqual, 1000)
+	for _, k := range keys {
+		if k != keys[0] {
+			t.Fatal("AllEqual produced differing keys")
+		}
+	}
+}
+
+func TestStdNormalShape(t *testing.T) {
+	keys := genKeys(t, StdNormal, 20000)
+	var sum, sumSq float64
+	for _, k := range keys {
+		x := records.KeyFloat(k)
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(keys))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal sample mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal sample variance = %f, want ~1", variance)
+	}
+}
+
+func TestPoissonShape(t *testing.T) {
+	keys := genKeys(t, Poisson, 20000)
+	var sum float64
+	small := 0
+	for _, k := range keys {
+		sum += float64(k)
+		if k <= 4 {
+			small++
+		}
+	}
+	mean := sum / float64(len(keys))
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("poisson sample mean = %f, want ~1 (lambda)", mean)
+	}
+	if frac := float64(small) / float64(len(keys)); frac < 0.99 {
+		t.Errorf("only %.3f of Poisson(1) keys are <= 4; expected nearly all", frac)
+	}
+}
+
+func TestSkewOneNodeConcentration(t *testing.T) {
+	keys := genKeys(t, SkewOneNode, 10000)
+	const base = uint64(1) << 62
+	in := 0
+	for _, k := range keys {
+		if k >= base && k < base+1<<16 {
+			in++
+		}
+	}
+	if frac := float64(in) / float64(len(keys)); frac < 0.9 {
+		t.Errorf("only %.3f of skew-one-node keys fall in the hot sliver", frac)
+	}
+}
+
+func TestSkewZipfHeadHeavy(t *testing.T) {
+	keys := genKeys(t, SkewZipf, 10000)
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / float64(len(keys)); frac < 0.2 {
+		t.Errorf("most popular zipf key has only %.3f of mass; expected a heavy head", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, d := range append(append([]Distribution{}, Distributions...), SkewDistributions...) {
+		a := genKeys(t, d, 100)
+		b := genKeys(t, d, 100)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%v: generation is not deterministic at index %d", d, i)
+				break
+			}
+		}
+	}
+}
+
+func TestNodeStreamsDiffer(t *testing.T) {
+	f := records.NewFormat(16)
+	g0 := NewGenerator(f, Uniform, 1, 0)
+	g1 := NewGenerator(f, Uniform, 1, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if g0.NextKey() == g1.NextKey() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("node streams coincide on %d of 100 draws", same)
+	}
+}
+
+func TestFillStampsProvenance(t *testing.T) {
+	f := records.NewFormat(16)
+	g := NewGenerator(f, Uniform, 1, 5)
+	buf := make([]byte, f.Bytes(10))
+	if n := g.Fill(buf); n != 10 {
+		t.Fatalf("Fill returned %d, want 10", n)
+	}
+	for i := 0; i < 10; i++ {
+		node, seq := records.SplitID(f.IDAt(buf, i))
+		if node != 5 || seq != uint64(i) {
+			t.Errorf("record %d stamped (%d, %d), want (5, %d)", i, node, seq, i)
+		}
+	}
+	if g.Seq() != 10 {
+		t.Errorf("Seq() = %d after 10 records", g.Seq())
+	}
+	// A second Fill continues the sequence.
+	g.Fill(buf)
+	if node, seq := records.SplitID(f.IDAt(buf, 0)); node != 5 || seq != 10 {
+		t.Errorf("second Fill starts at (%d, %d), want (5, 10)", node, seq)
+	}
+}
+
+func TestFillLargeRecordPayloadNontrivial(t *testing.T) {
+	f := records.NewFormat(64)
+	g := NewGenerator(f, Uniform, 1, 0)
+	buf := make([]byte, f.Bytes(4))
+	g.Fill(buf)
+	// Bytes beyond the id slot should not all be zero.
+	allZero := true
+	for _, b := range f.PayloadAt(buf, 0)[8:] {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Error("64-byte record payload is all zeros")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Distribution
+	}{
+		{"uniform", Uniform}, {"all-equal", AllEqual}, {"allequal", AllEqual},
+		{"normal", StdNormal}, {"stdnormal", StdNormal}, {"poisson", Poisson},
+		{"skew-one-node", SkewOneNode}, {"skew-zipf", SkewZipf},
+	} {
+		got, err := ParseDistribution(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseDistribution("bogus"); err == nil {
+		t.Error("ParseDistribution(bogus) succeeded")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for _, d := range []Distribution{Uniform, AllEqual, StdNormal, Poisson, SkewOneNode, SkewZipf} {
+		if d.String() == "" {
+			t.Errorf("distribution %d has empty name", int(d))
+		}
+	}
+}
+
+func TestFillKeysOnlyFormat(t *testing.T) {
+	// An 8-byte record is all key: Fill must not try to stamp identifiers.
+	f := records.NewFormat(8)
+	g := NewGenerator(f, Uniform, 1, 0)
+	buf := make([]byte, f.Bytes(16))
+	if n := g.Fill(buf); n != 16 {
+		t.Fatalf("Fill returned %d", n)
+	}
+	if g.Seq() != 16 {
+		t.Errorf("Seq = %d", g.Seq())
+	}
+}
+
+func TestGeneratorAccessors(t *testing.T) {
+	g := NewGenerator(records.NewFormat(16), Poisson, 3, 9)
+	if g.Node() != 9 {
+		t.Errorf("Node = %d", g.Node())
+	}
+	if g.Seq() != 0 {
+		t.Errorf("fresh Seq = %d", g.Seq())
+	}
+}
