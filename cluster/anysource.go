@@ -40,6 +40,7 @@ func (n *Node) SendAny(dst int, tag int64, data []byte) {
 	if dst < 0 || dst >= n.P() {
 		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
 	}
+	n.checkFault("send", dst, len(data))
 	msg := make([]byte, len(data))
 	copy(msg, data)
 
@@ -55,13 +56,23 @@ func (n *Node) SendAny(dst int, tag int64, data []byte) {
 	n.stats.BytesSent += int64(len(data))
 	n.mu.Unlock()
 
-	n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, data: msg}
+	select {
+	case n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, data: msg}:
+	case <-n.cluster.aborted:
+		n.abortPanic("send", dst)
+	}
 }
 
 // RecvAny blocks until any node's SendAny for this tag arrives, returning
 // the sender's rank and the payload.
 func (n *Node) RecvAny(tag int64) (src int, data []byte) {
-	msg := <-n.anyMailbox(tag)
+	n.checkFault("recv", -1, 0)
+	var msg anyMessage
+	select {
+	case msg = <-n.anyMailbox(tag):
+	case <-n.cluster.aborted:
+		n.abortPanic("recv", -1)
+	}
 	n.mu.Lock()
 	n.stats.MessagesRecvd++
 	n.stats.BytesRecvd += int64(len(msg.data))

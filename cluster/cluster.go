@@ -17,12 +17,42 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/fg-go/fg/pdm"
 )
+
+// ErrAborted is the error carried by the panic that releases a blocked
+// Send or Recv when the cluster job is aborted (see Cluster.Abort). Match
+// it with errors.Is to tell a node that failed on its own from one that
+// was torn down because a peer failed.
+var ErrAborted = errors.New("cluster: job aborted")
+
+// A CommError is the error attached to the panic raised when a
+// communication operation is killed — by an injected fault (Node.SetFault)
+// or by a cluster abort. Communication methods have no error returns, as
+// in MPI, so faults surface as panics; inside an FG network the stage's
+// runner recovers the panic and converts it into a clean network error.
+type CommError struct {
+	// Op is the operation: "send" or "recv".
+	Op string
+	// Rank is the node performing the operation.
+	Rank int
+	// Peer is the destination (sends) or source (receives); -1 for an
+	// any-source receive.
+	Peer int
+	// Err is the underlying cause: ErrAborted or an injected fault.
+	Err error
+}
+
+func (e *CommError) Error() string {
+	return fmt.Sprintf("cluster: node %d %s (peer %d): %v", e.Rank, e.Op, e.Peer, e.Err)
+}
+
+func (e *CommError) Unwrap() error { return e.Err }
 
 // NetworkModel gives the simulated cost of interprocessor communication.
 type NetworkModel struct {
@@ -72,6 +102,9 @@ const defaultMailboxDepth = 1024
 type Cluster struct {
 	cfg   Config
 	nodes []*Node
+
+	abortOnce sync.Once
+	aborted   chan struct{}
 }
 
 // New builds a cluster of cfg.Nodes nodes. It panics if cfg.Nodes < 1.
@@ -82,7 +115,7 @@ func New(cfg Config) *Cluster {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = defaultMailboxDepth
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, aborted: make(chan struct{})}
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := range c.nodes {
 		c.nodes[i] = &Node{
@@ -111,9 +144,27 @@ func (c *Cluster) Disks() []*pdm.Disk {
 	return out
 }
 
+// Abort tears the whole job down, the analogue of MPI_Abort: every Send or
+// Recv that is blocked (or subsequently attempted) panics with a CommError
+// wrapping ErrAborted. Inside an FG network that panic becomes a clean
+// stage error, so each node's Network.Run returns promptly instead of
+// waiting forever for a failed peer's messages. Abort is idempotent.
+// Cluster.Run calls it automatically when any node's function fails.
+func (c *Cluster) Abort() {
+	c.abortOnce.Do(func() { close(c.aborted) })
+}
+
+// abortPanic raises the panic for an operation killed by Abort.
+func (n *Node) abortPanic(op string, peer int) {
+	panic(&CommError{Op: op, Rank: n.rank, Peer: peer, Err: ErrAborted})
+}
+
 // Run executes fn once per node, each invocation on its own goroutine, and
-// waits for all of them. It returns the first non-nil error. A panic on a
-// node goroutine is recovered and reported as that node's error.
+// waits for all of them. A panic on a node goroutine is recovered and
+// reported as that node's error. The first failing node aborts the whole
+// job (see Abort) so that no peer blocks forever on its messages; Run then
+// returns the lowest-ranked error that is a root cause — one not itself
+// produced by the abort — falling back to the first error of any kind.
 func (c *Cluster) Run(fn func(*Node) error) error {
 	errs := make([]error, len(c.nodes))
 	var wg sync.WaitGroup
@@ -123,19 +174,33 @@ func (c *Cluster) Run(fn func(*Node) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+					if err, ok := r.(error); ok {
+						errs[i] = fmt.Errorf("cluster: node %d panicked: %w", i, err)
+					} else {
+						errs[i] = fmt.Errorf("cluster: node %d panicked: %v", i, r)
+					}
+				}
+				if errs[i] != nil {
+					c.Abort()
 				}
 			}()
 			errs[i] = fn(n)
 		}(i, n)
 	}
 	wg.Wait()
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, ErrAborted) {
 			return err
 		}
 	}
-	return nil
+	return first
 }
 
 // CommStats accumulates one node's traffic counters.
@@ -159,6 +224,7 @@ type Node struct {
 	mu        sync.Mutex
 	mailboxes map[mailboxKey]chan []byte
 	stats     CommStats
+	fault     func(op string, peer int, nbytes int) error
 
 	anyMu    sync.Mutex
 	anyBoxes map[anyMailboxKey]chan anyMessage
@@ -194,6 +260,34 @@ func (n *Node) ResetStats() {
 	n.stats = CommStats{}
 }
 
+// SetFault installs a fault injector on this node's communication: before
+// every Send, SendAny, Recv, or RecvAny, fn is called with the operation
+// ("send" or "recv"), the peer rank (-1 for any-source receives), and the
+// payload size (0 for receives). A non-nil return kills the operation with
+// a panic carrying a CommError — the MPI-style interface has no error
+// returns — which FG's panic isolation converts into a network error.
+// Passing nil clears the injector. Non-blocking TryRecv variants are not
+// subject to injection.
+func (n *Node) SetFault(fn func(op string, peer int, nbytes int) error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = fn
+}
+
+// checkFault consults the injector; it panics with a CommError if the
+// injector kills the operation.
+func (n *Node) checkFault(op string, peer, nbytes int) {
+	n.mu.Lock()
+	fn := n.fault
+	n.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	if err := fn(op, peer, nbytes); err != nil {
+		panic(&CommError{Op: op, Rank: n.rank, Peer: peer, Err: err})
+	}
+}
+
 // mailbox returns (creating if needed) the channel buffering messages from
 // src with the given tag.
 func (n *Node) mailbox(src int, tag int64) chan []byte {
@@ -215,6 +309,7 @@ func (n *Node) Send(dst int, tag int64, data []byte) {
 	if dst < 0 || dst >= n.P() {
 		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
 	}
+	n.checkFault("send", dst, len(data))
 	msg := make([]byte, len(data))
 	copy(msg, data)
 
@@ -231,7 +326,11 @@ func (n *Node) Send(dst int, tag int64, data []byte) {
 	n.stats.BytesSent += int64(len(data))
 	n.mu.Unlock()
 
-	n.cluster.nodes[dst].mailbox(n.rank, tag) <- msg
+	select {
+	case n.cluster.nodes[dst].mailbox(n.rank, tag) <- msg:
+	case <-n.cluster.aborted:
+		n.abortPanic("send", dst)
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -240,7 +339,13 @@ func (n *Node) Recv(src int, tag int64) []byte {
 	if src < 0 || src >= n.P() {
 		panic(fmt.Sprintf("cluster: node %d receiving from invalid rank %d", n.rank, src))
 	}
-	msg := <-n.mailbox(src, tag)
+	n.checkFault("recv", src, 0)
+	var msg []byte
+	select {
+	case msg = <-n.mailbox(src, tag):
+	case <-n.cluster.aborted:
+		n.abortPanic("recv", src)
+	}
 	n.mu.Lock()
 	n.stats.MessagesRecvd++
 	n.stats.BytesRecvd += int64(len(msg))

@@ -101,6 +101,7 @@ func (pl Plan) runTransposePass(n *cluster.Node, commName, inFile, outFile strin
 	comm := n.Comm(commName)
 
 	nw := fg.NewNetwork(fmt.Sprintf("%s@%d", commName, rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -197,6 +198,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 	out := pl.Spec.OutputName
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort.p3@%d", rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 

@@ -87,6 +87,7 @@ func (pl Plan) runShiftPass(n *cluster.Node, inFile, outFile string, buffers int
 	shift := n.Comm("csort4.shift")
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort4.p3@%d", rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -158,6 +159,7 @@ func (pl Plan) runUnshiftPass(n *cluster.Node, inFile string, buffers int) error
 	out := pl.Spec.OutputName
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort4.p4@%d", rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/oocsort"
 )
 
@@ -42,6 +43,22 @@ type Config struct {
 	// Buffers is the pool size of every non-vertical pipeline; vertical
 	// pipelines use two buffers each. The overlap ablation sets it to 1.
 	Buffers int
+
+	// Retry, when MaxAttempts > 1, wraps every disk-touching round stage
+	// (pass 1's read and write, pass 2's run reads and output writes) with
+	// fg.Retry, so transient I/O faults are absorbed by backoff instead of
+	// aborting a long sort. Communication stages are never retried: their
+	// sends are not idempotent. The zero value disables retries.
+	Retry fg.RetryPolicy
+}
+
+// diskStage wraps a disk-touching round stage with the configured retry
+// policy, or returns it unchanged when retries are disabled.
+func (cfg Config) diskStage(fn fg.RoundFunc) fg.RoundFunc {
+	if cfg.Retry.MaxAttempts > 1 {
+		return fg.Retry(fn, cfg.Retry)
+	}
+	return fn
 }
 
 // DefaultConfig returns buffer sizes tuned the way the paper describes:

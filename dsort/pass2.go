@@ -54,6 +54,7 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 	hRounds := int((partRecs + int64(cfg.OutRecords) - 1) / int64(cfg.OutRecords))
 
 	nw := fg.NewNetwork(fmt.Sprintf("dsort.p2@%d", rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 
 	// Vertical pipelines: one per sorted run, reading the run in small
 	// chunks. All are members of one virtual group, so FG serves their
@@ -69,7 +70,7 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 			rounds := (lenBytes + vBufBytes - 1) / vBufBytes
 			verticals[i] = vg.AddPipeline(fmt.Sprintf("run%d", i),
 				fg.Buffers(3), fg.BufferBytes(vBufBytes), fg.Rounds(rounds))
-			verticals[i].AddStage("read", func(ctx *fg.Ctx, b *fg.Buffer) error {
+			verticals[i].AddStage("read", cfg.diskStage(func(ctx *fg.Ctx, b *fg.Buffer) error {
 				off := b.Round * vBufBytes
 				cnt := vBufBytes
 				if off+cnt > lenBytes {
@@ -77,7 +78,7 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 				}
 				b.N = cnt
 				return n.Disk.ReadAt(runsFile, b.Data[:cnt], int64(i)*int64(runBytes)+int64(off))
-			})
+			}))
 		}
 	}
 
@@ -214,7 +215,9 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 		}
 		return nil
 	})
-	recv.AddStage("write", func(ctx *fg.Ctx, b *fg.Buffer) error {
+	// Rewriting the same extents at the same offsets is idempotent, so the
+	// whole unpack-and-write round can be retried.
+	recv.AddStage("write", cfg.diskStage(func(ctx *fg.Ctx, b *fg.Buffer) error {
 		for pos := 0; pos < b.N; {
 			mlen := int(binary.BigEndian.Uint32(b.Data[pos:]))
 			off := int64(binary.BigEndian.Uint64(b.Data[pos+4:]))
@@ -225,7 +228,7 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 			pos += 4 + mlen
 		}
 		return nil
-	})
+	}))
 
 	return nw.Run()
 }

@@ -57,4 +57,32 @@
 // caboose downstream on its behalf. A pipeline is complete when its sink
 // has seen the caboose; Network.Run returns when every pipeline completes
 // or any stage fails.
+//
+// # Error semantics and fault tolerance
+//
+// The first error any stage returns wins: it is recorded, every pipeline of
+// the network shuts down (in-flight buffers are dropped, not flushed), and
+// Run returns that error once all framework goroutines have unwound. Later
+// errors from other stages during the unwind are discarded.
+//
+// A panic in a stage function does not crash the process. Every
+// framework-spawned goroutine recovers panics into a *PanicError naming the
+// stage and carrying the panic value and stack, and fails the network with
+// it. If the panic value is itself an error, PanicError.Unwrap exposes it,
+// so errors.Is and errors.As see through panics.
+//
+// RunContext adds deadlines and cancellation: when the context is done the
+// network shuts down exactly as if a stage had failed and RunContext
+// returns ctx.Err(). A context that is already expired returns before any
+// goroutine is launched.
+//
+// Retry wraps a round stage with exponential backoff for transient faults;
+// Permanent marks an error as not worth retrying. Only wrap stages whose
+// round is idempotent — rereads and same-offset rewrites, never sends.
+//
+// A failing stage may leave a peer network (on another cluster node)
+// blocked in an operation this network cannot unblock. OnFail registers a
+// callback that fires at the instant of the first error, before the unwind,
+// so node programs can trigger cluster-wide teardown (cluster.Abort) that
+// releases such peers.
 package fg

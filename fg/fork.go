@@ -171,6 +171,7 @@ func (rt *forkRuntime) branchEntry(i int, g *group) *queue {
 func runFork(nw *Network, g *group, rt *forkRuntime) {
 	defer nw.wg.Done()
 	f := rt.f
+	defer nw.recoverPanic(f.stage.name)
 	pos := f.stage.posIn(f.pipe)
 	in := g.queues[pos]
 	ctx := newCtx(nw, f.stage)
@@ -212,6 +213,7 @@ func runFork(nw *Network, g *group, rt *forkRuntime) {
 func runBranchStage(nw *Network, g *group, rt *forkRuntime, branch, idx int) {
 	defer nw.wg.Done()
 	s := rt.f.branches[branch][idx]
+	defer nw.recoverPanic(s.name)
 	in := rt.branchQ[branch][idx]
 	var out *queue
 	if idx+1 < len(rt.branchQ[branch]) {
@@ -249,6 +251,7 @@ func runBranchStage(nw *Network, g *group, rt *forkRuntime, branch, idx int) {
 // the branches' cabooses into one for the rest of the pipeline.
 func runJoin(nw *Network, g *group, rt *forkRuntime) {
 	defer nw.wg.Done()
+	defer nw.recoverPanic(rt.f.joiner.name)
 	pos := rt.f.joiner.posIn(rt.f.pipe)
 	in := g.queues[pos]
 	out := g.queues[pos+1]

@@ -1,6 +1,7 @@
 package fg
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -20,6 +21,7 @@ type Network struct {
 	stop    sync.Once
 	failMu  sync.Mutex
 	err     error
+	onFail  func(error)
 
 	wg         sync.WaitGroup // every framework goroutine
 	completion sync.WaitGroup // one Done per pipeline, by the sinks
@@ -40,7 +42,7 @@ func (nw *Network) Name() string { return nw.name }
 // Add before Run.
 func (nw *Network) AddPipeline(name string, opts ...Option) *Pipeline {
 	nw.mustNotBeStarted()
-	g := &group{nw: nw, name: name}
+	g := newGroup(nw, name, false)
 	nw.groups = append(nw.groups, g)
 	return newPipeline(nw, g, name, opts)
 }
@@ -51,7 +53,7 @@ func (nw *Network) AddPipeline(name string, opts ...Option) *Pipeline {
 // sinks of the group's members are virtualized automatically.
 func (nw *Network) AddVirtualGroup(name string) *VirtualGroup {
 	nw.mustNotBeStarted()
-	g := &group{nw: nw, name: name, virtual: true}
+	g := newGroup(nw, name, true)
 	nw.groups = append(nw.groups, g)
 	return &VirtualGroup{g: g}
 }
@@ -81,13 +83,32 @@ func (nw *Network) mustNotBeStarted() {
 	}
 }
 
+// OnFail registers a callback invoked once, with the winning error, at the
+// moment the network first fails — before the network's goroutines have
+// unwound. A stage of a failing network may be blocked in an operation
+// outside the framework's control (a message receive on a cluster whose
+// sender just died); Run cannot return until that stage exits, so the
+// escape hatch must fire earlier. Node programs use OnFail to trigger
+// cluster-wide teardown (cluster.Abort) that releases such stages. The
+// callback runs on the failing stage's goroutine and must not block.
+// OnFail must be called before Run; a nil fn clears it.
+func (nw *Network) OnFail(fn func(error)) {
+	nw.mustNotBeStarted()
+	nw.onFail = fn
+}
+
 // fail records the first error and begins shutdown.
 func (nw *Network) fail(err error) {
 	nw.failMu.Lock()
-	if nw.err == nil {
+	first := nw.err == nil
+	if first {
 		nw.err = err
 	}
+	cb := nw.onFail
 	nw.failMu.Unlock()
+	if first && cb != nil {
+		cb(err)
+	}
 	nw.shutdown()
 }
 
@@ -106,8 +127,20 @@ func (nw *Network) Err() error {
 // reached its sink, or until a stage returns an error. A network runs once;
 // build a new one for the next pass.
 func (nw *Network) Run() error {
+	return nw.RunContext(context.Background())
+}
+
+// RunContext is Run with deadline and cancellation: when ctx is cancelled
+// or its deadline passes, the network shuts down exactly as if a stage had
+// failed — in-flight buffers are dropped — and RunContext returns ctx.Err()
+// (unless a stage failed first, whose error wins). A ctx that is already
+// expired returns its error immediately, before any goroutine is launched.
+func (nw *Network) RunContext(ctx context.Context) error {
 	nw.mustNotBeStarted()
 	nw.started = true
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	pipelines := 0
 	for _, g := range nw.groups {
@@ -130,6 +163,21 @@ func (nw *Network) Run() error {
 			return err
 		}
 		forkRTsOf[g] = rts
+	}
+
+	// From here on goroutines launch; build errors above return with none.
+	// The context watcher turns cancellation into a network failure and is
+	// itself released by shutdown, so it cannot outlive Run.
+	if ctx.Done() != nil {
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			select {
+			case <-ctx.Done():
+				nw.fail(ctx.Err())
+			case <-nw.done:
+			}
+		}()
 	}
 
 	// One goroutine per unique stage or slot, plus each group's source and

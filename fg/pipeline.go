@@ -176,6 +176,13 @@ type group struct {
 	wake   chan struct{}
 }
 
+// newGroup creates an empty group. The wake channel exists from birth so
+// that Pipeline.Stop is safe at any time — before Run, twice, or racing the
+// network's natural completion.
+func newGroup(nw *Network, name string, virtual bool) *group {
+	return &group{nw: nw, name: name, virtual: virtual, wake: make(chan struct{}, 1)}
+}
+
 // build validates the group and allocates its queues and pool.
 func (g *group) build() error {
 	if len(g.pipes) == 0 {
@@ -237,7 +244,6 @@ func (g *group) build() error {
 		return err
 	}
 	g.pool = make(chan *Buffer, totalBufs)
-	g.wake = make(chan struct{}, 1)
 	for _, p := range g.pipes {
 		p.slotCtx = make([]*Ctx, nStages)
 		for pos, s := range p.stages {
@@ -257,6 +263,7 @@ func (g *group) build() error {
 // serves all members, as FG's automatic virtualization of sources does.
 func (g *group) runSource() {
 	defer g.nw.wg.Done()
+	defer g.nw.recoverPanic(g.name + ".source")
 	type state struct {
 		emitted int
 		caboose bool
@@ -350,6 +357,7 @@ func (g *group) runSource() {
 func (g *group) runSink() {
 	defer g.nw.wg.Done()
 	remaining := len(g.pipes)
+	defer g.nw.recoverPanic(g.name + ".sink")
 	// On shutdown, release the completion count for pipelines that never
 	// finished so Run's completion watcher does not leak.
 	defer func() {

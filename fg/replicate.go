@@ -65,6 +65,7 @@ func runReplicated(nw *Network, g *group, pos int) {
 		nw.wg.Add(1)
 		go func() {
 			defer nw.wg.Done()
+			defer nw.recoverPanic(s.name)
 			for {
 				start := time.Now()
 				b, err := in.pop(nw.done)

@@ -230,6 +230,7 @@ func (c *Ctx) finish() {
 // runFree executes a free (possibly intersecting) stage.
 func runFree(nw *Network, s *Stage) {
 	defer nw.wg.Done()
+	defer nw.recoverPanic(s.name)
 	ctx := newCtx(nw, s)
 	start := time.Now()
 	err := s.free(ctx)
@@ -249,6 +250,14 @@ func runFree(nw *Network, s *Stage) {
 // stages.
 func runSlot(nw *Network, g *group, pos int) {
 	defer nw.wg.Done()
+	// The slot serves one stage per member pipeline; blame the one whose
+	// buffer was in hand when the panic happened.
+	current := g.pipes[0].stages[pos].name
+	defer func() {
+		if pe := capturePanic(current, recover()); pe != nil {
+			nw.fail(pe)
+		}
+	}()
 	in := g.queues[pos]
 	out := g.queues[pos+1]
 	remaining := len(g.pipes)
@@ -260,6 +269,7 @@ func runSlot(nw *Network, g *group, pos int) {
 			return
 		}
 		s := b.pipe.stages[pos]
+		current = s.name
 		s.stats.acceptWait.Add(int64(wait))
 		nw.traceWait(s, b.pipe, start)
 		if b.caboose {

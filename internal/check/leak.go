@@ -1,0 +1,64 @@
+package check
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePath identifies this repository's frames in goroutine stacks.
+const modulePath = "github.com/fg-go/fg"
+
+// NoLeakedGoroutines registers a cleanup that fails the test if any
+// goroutine running this module's code is still alive when the test ends.
+// Goroutines take a moment to unwind after Network.Run or Cluster.Run
+// returns, so the check polls before declaring a leak. Call it at the top
+// of tests that exercise error shutdown, cancellation, or failed builds —
+// the paths where a stranded stage or source goroutine would otherwise go
+// unnoticed. Not safe for tests running in parallel with other FG tests.
+func NoLeakedGoroutines(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = moduleGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("check: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// moduleGoroutines returns the stacks of live goroutines (other than the
+// caller's) that have a frame in this module.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := strings.Split(string(buf), "\n\n")
+	var out []string
+	for i, g := range stacks {
+		if i == 0 {
+			continue // the current goroutine, running this check
+		}
+		if !strings.Contains(g, modulePath) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package faultinject provides a deterministic, seeded fault injector for
+// chaos-testing FG programs. An Injector decides, per operation, whether to
+// inject an error and how much latency to add; hooks adapt one injector to
+// the substrate's hook points — pdm.Disk.SetFault for disk I/O and
+// cluster.Node.SetFault for interprocessor communication. One injector may
+// be shared by many disks and nodes: its counters are global, so a
+// fail-N-then-succeed schedule spans the whole cluster deterministically.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config parameterizes an Injector. Zero values disable each mechanism.
+type Config struct {
+	// Seed makes probabilistic decisions reproducible. Zero seeds from a
+	// fixed default, so two injectors with identical configs make identical
+	// decisions given identical operation orders.
+	Seed int64
+	// FailN fails the first N candidate operations, then lets every later
+	// one succeed — the deterministic schedule for proving that retries
+	// absorb transient faults.
+	FailN int
+	// ErrProb fails each candidate operation independently with this
+	// probability, after any FailN budget is spent.
+	ErrProb float64
+	// Latency is added to every candidate operation, injected fault or not,
+	// by sleeping in the caller.
+	Latency time.Duration
+}
+
+// A Fault is an injected error. It is transient by construction: retrying
+// the operation may succeed.
+type Fault struct {
+	// Op is the operation that was failed ("read", "write", "send", "recv").
+	Op string
+	// Seq is the 1-based index of this fault among all faults injected.
+	Seq int64
+}
+
+func (e *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected fault #%d on %s", e.Seq, e.Op)
+}
+
+// An Injector decides the fate of operations. All methods are safe for
+// concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ops      int64
+	injected int64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x600df00d
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Op records one candidate operation and decides its fate: it sleeps the
+// configured latency, then returns an injected *Fault or nil.
+func (in *Injector) Op(op string) error {
+	if in.cfg.Latency > 0 {
+		time.Sleep(in.cfg.Latency)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	fail := in.injected < int64(in.cfg.FailN)
+	if !fail && in.cfg.ErrProb > 0 {
+		fail = in.rng.Float64() < in.cfg.ErrProb
+	}
+	if !fail {
+		return nil
+	}
+	in.injected++
+	return &Fault{Op: op, Seq: in.injected}
+}
+
+// Ops returns how many candidate operations the injector has seen.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Injected returns how many faults the injector has injected.
+func (in *Injector) Injected() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// DiskHook adapts the injector to pdm.Disk.SetFault. If names are given,
+// only operations on those file names are candidates; others pass
+// untouched. Filtering by name scopes chaos to one program's files — e.g.
+// dsort's runs file — leaving setup and verification I/O alone.
+func (in *Injector) DiskHook(names ...string) func(op, name string, off int64) error {
+	return func(op, name string, off int64) error {
+		if len(names) > 0 && !contains(names, name) {
+			return nil
+		}
+		return in.Op(op)
+	}
+}
+
+// CommHook adapts the injector to cluster.Node.SetFault. If ops are given
+// ("send", "recv"), only those operations are candidates.
+func (in *Injector) CommHook(ops ...string) func(op string, peer int, nbytes int) error {
+	return func(op string, peer int, nbytes int) error {
+		if len(ops) > 0 && !contains(ops, op) {
+			return nil
+		}
+		return in.Op(op)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

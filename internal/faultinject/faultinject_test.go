@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFailNThenSucceed(t *testing.T) {
+	in := New(Config{FailN: 3})
+	for i := 0; i < 3; i++ {
+		err := in.Op("read")
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("op %d: got %v, want a *Fault", i, err)
+		}
+		if f.Seq != int64(i+1) {
+			t.Errorf("op %d: Seq = %d, want %d", i, f.Seq, i+1)
+		}
+		if f.Op != "read" {
+			t.Errorf("op %d: Op = %q, want read", i, f.Op)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := in.Op("read"); err != nil {
+			t.Fatalf("op after budget spent failed: %v", err)
+		}
+	}
+	if in.Ops() != 13 || in.Injected() != 3 {
+		t.Errorf("counters = (%d ops, %d injected), want (13, 3)", in.Ops(), in.Injected())
+	}
+}
+
+func TestErrProbIsSeededAndDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(Config{Seed: seed, ErrProb: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Op("write") != nil
+		}
+		return out
+	}
+	a, b := run(17), run(17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(18)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decisions")
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("ErrProb 0.3 injected %d/%d faults", hits, len(a))
+	}
+}
+
+func TestZeroConfigNeverInjects(t *testing.T) {
+	in := New(Config{})
+	for i := 0; i < 100; i++ {
+		if err := in.Op("read"); err != nil {
+			t.Fatalf("zero config injected: %v", err)
+		}
+	}
+	if in.Injected() != 0 {
+		t.Errorf("Injected = %d, want 0", in.Injected())
+	}
+}
+
+func TestDiskHookFiltersByName(t *testing.T) {
+	in := New(Config{FailN: 100})
+	hook := in.DiskHook("dsort.runs")
+	if err := hook("write", "input.dat", 0); err != nil {
+		t.Errorf("unmatched name injected: %v", err)
+	}
+	if err := hook("write", "dsort.runs", 0); err == nil {
+		t.Error("matched name not injected")
+	}
+	if in.Ops() != 1 {
+		t.Errorf("filtered-out op counted: Ops = %d, want 1", in.Ops())
+	}
+	// No filter: every name is a candidate.
+	all := New(Config{FailN: 1}).DiskHook()
+	if err := all("read", "anything", 0); err == nil {
+		t.Error("unfiltered hook did not inject")
+	}
+}
+
+func TestCommHookFiltersByOp(t *testing.T) {
+	in := New(Config{FailN: 100})
+	hook := in.CommHook("send")
+	if err := hook("recv", 1, 0); err != nil {
+		t.Errorf("unmatched op injected: %v", err)
+	}
+	if err := hook("send", 1, 64); err == nil {
+		t.Error("matched op not injected")
+	}
+}
+
+func TestLatencyIsAdded(t *testing.T) {
+	in := New(Config{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Op("read"); err != nil {
+		t.Fatalf("latency-only config injected: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("op returned after %v, want >= 20ms", d)
+	}
+}

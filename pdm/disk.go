@@ -135,11 +135,10 @@ func (d *Disk) WriteAt(name string, p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("pdm: negative offset %d writing %q", off, name)
 	}
-	d.mu.Lock()
 	if err := d.checkFault("write", name, off); err != nil {
-		d.mu.Unlock()
 		return err
 	}
+	d.mu.Lock()
 	f := d.files[name]
 	if f == nil {
 		f = &fileData{}
@@ -175,11 +174,10 @@ func (d *Disk) ReadAt(name string, p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("pdm: negative offset %d reading %q", off, name)
 	}
-	d.mu.Lock()
 	if err := d.checkFault("read", name, off); err != nil {
-		d.mu.Unlock()
 		return err
 	}
+	d.mu.Lock()
 	f := d.files[name]
 	if f == nil {
 		d.mu.Unlock()
@@ -259,10 +257,15 @@ func (d *Disk) SetFault(fn func(op, name string, off int64) error) {
 	d.fault = fn
 }
 
-// checkFault consults the injector under d.mu.
+// checkFault consults the injector. It is called outside d.mu so an
+// injector that adds latency stalls only its own operation, not metadata
+// queries on the same disk.
 func (d *Disk) checkFault(op, name string, off int64) error {
-	if d.fault == nil {
+	d.mu.Lock()
+	fn := d.fault
+	d.mu.Unlock()
+	if fn == nil {
 		return nil
 	}
-	return d.fault(op, name, off)
+	return fn(op, name, off)
 }

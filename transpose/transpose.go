@@ -111,6 +111,7 @@ func Run(n *cluster.Node, s Spec) error {
 	comm := n.Comm("transpose")
 
 	nw := fg.NewNetwork(fmt.Sprintf("transpose@%d", rank))
+	nw.OnFail(func(error) { n.Cluster().Abort() })
 	pipe := nw.AddPipeline("main",
 		fg.Buffers(4), fg.BufferBytes(bandBytes), fg.Rounds(rounds))
 
