@@ -121,6 +121,29 @@ func BenchmarkOverlap(b *testing.B) {
 	}
 }
 
+// BenchmarkIntraBufferParallelism measures what the multicore compute
+// kernels buy end to end: the same Figure-8 uniform cells with the
+// Parallelism knob left at all-cores ("parallel") versus pinned to the
+// serial kernels ("serial"). On a multicore host the parallel rows shrink
+// the synchronous sort/permute/merge stages that the pipelines cannot
+// hide; on a single-core host the knob resolves to the serial paths and
+// the rows coincide. Kernel-level speedups are isolated in
+// internal/sortalgo's BenchmarkKernel* pairs.
+func BenchmarkIntraBufferParallelism(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{{"parallel", 0}, {"serial", 1}} {
+		pr := benchParams(16)
+		pr.Parallelism = mode.parallelism
+		for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {
+			b.Run(fmt.Sprintf("%s/%s", prog, mode.name), func(b *testing.B) {
+				runSort(b, pr, prog, workload.Uniform, 0)
+			})
+		}
+	}
+}
+
 // BenchmarkPassCoalescing reproduces the Section III observation: the
 // three-pass csort against the four-pass implementation it coalesced.
 func BenchmarkPassCoalescing(b *testing.B) {

@@ -32,6 +32,7 @@ func main() {
 		trials  = flag.Int("trials", 1, "runs to average per cell (the paper used 3)")
 		verify  = flag.Bool("verify", true, "verify every sort's output")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		par     = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,11 @@ func main() {
 	pr.ColumnsPerNode = *cpn
 	pr.Verify = *verify
 	pr.Seed = *seed
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "fgexp: -parallelism must be >= 0, got %d\n", *par)
+		os.Exit(1)
+	}
+	pr.Parallelism = *par
 
 	trialCount = *trials
 

@@ -28,6 +28,7 @@ func main() {
 		buffers = flag.Int("buffers", 0, "per-pipeline buffer pool (0 = program default)")
 		verify  = flag.Bool("verify", true, "verify the sorted output")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		par     = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,10 @@ func main() {
 	pr.ColumnsPerNode = *cpn
 	pr.Verify = *verify
 	pr.Seed = *seed
+	if *par < 0 {
+		log.Fatalf("fgsort: -parallelism must be >= 0, got %d", *par)
+	}
+	pr.Parallelism = *par
 
 	res, err := pr.Run(harness.Program(*program), dist, *buffers)
 	if err != nil {

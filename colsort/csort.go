@@ -110,7 +110,7 @@ func (pl Plan) runTransposePass(n *cluster.Node, commName, inFile, outFile strin
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], int64(b.Round)*int64(colBytes))
 	})
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error {
-		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
 		return nil
 	})
 	p.AddStage("communicate", func(ctx *fg.Ctx, b *fg.Buffer) error {
@@ -207,7 +207,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], int64(b.Round)*int64(colBytes))
 	})
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 5
-		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
 		return nil
 	})
 	p.AddStage("shift", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 6
@@ -236,7 +236,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 			return nil
 		}
 		aux := b.Aux()
-		sortalgo.MergeSorted(f, m.in, b.Data[:halfBytes], aux[:colBytes])
+		sortalgo.MergeSortedParallel(f, m.in, b.Data[:halfBytes], aux[:colBytes], pl.Parallelism)
 		b.SwapAux()
 		b.N = colBytes
 		return nil

@@ -96,7 +96,7 @@ func (pl Plan) runShiftPass(n *cluster.Node, inFile, outFile string, buffers int
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], int64(b.Round)*int64(colBytes))
 	})
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 5
-		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
 		return nil
 	})
 	p.AddStage("communicate", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 6
@@ -175,7 +175,7 @@ func (pl Plan) runUnshiftPass(n *cluster.Node, inFile string, buffers int) error
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], slot)
 	})
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 7
-		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
 		return nil
 	})
 	p.AddStage("send-top", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 8, outbound

@@ -16,6 +16,14 @@ type Plan struct {
 	P    int // nodes
 	S    int // total columns, a multiple of P
 	R    int // rows (records per column)
+
+	// Parallelism bounds the intra-buffer parallelism of the compute
+	// stages: every pass's column sort and pass 3's sorted-halves merge
+	// use the multicore kernels in internal/sortalgo with up to this many
+	// workers from the process-wide shared pool. 0 (the default) means
+	// GOMAXPROCS; 1 forces the serial kernels. See DESIGN.md, "Multicore
+	// kernels".
+	Parallelism int
 }
 
 // NewPlan validates a job against the columnsort constraints and returns

@@ -44,6 +44,17 @@ type Config struct {
 	// pipelines use two buffers each. The overlap ablation sets it to 1.
 	Buffers int
 
+	// Parallelism bounds the intra-buffer parallelism of the compute
+	// stages: pass 1's permute and run sort and pass 2's merge use the
+	// multicore kernels in internal/sortalgo with up to this many workers
+	// from the process-wide shared pool. 0 (the default) means
+	// GOMAXPROCS; 1 forces the serial kernels, which the
+	// serial-vs-parallel benchmarks compare against. Unlike
+	// fg.Stage.Replicate, intra-buffer parallelism preserves buffer order
+	// and adds no buffer-pool pressure; see DESIGN.md, "Multicore
+	// kernels".
+	Parallelism int
+
 	// Retry, when MaxAttempts > 1, wraps every disk-touching round stage
 	// (pass 1's read and write, pass 2's run reads and output writes) with
 	// fg.Retry, so transient I/O faults are absorbed by backoff instead of
@@ -102,6 +113,9 @@ func (cfg Config) Validate(p int) error {
 	}
 	if cfg.Buffers < 1 {
 		return fmt.Errorf("dsort: need at least one buffer per pipeline, got %d", cfg.Buffers)
+	}
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("dsort: negative parallelism %d", cfg.Parallelism)
 	}
 	return nil
 }

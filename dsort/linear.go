@@ -81,7 +81,7 @@ func pass1Linear(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int
 		if fill == 0 {
 			return nil
 		}
-		sortalgo.SortRecords(f, runBuf[:fill], scratch)
+		sortalgo.SortRecordsParallel(f, runBuf[:fill], scratch, cfg.Parallelism)
 		off := int64(len(runLens)) * int64(bufBytes)
 		runLens = append(runLens, f.Count(fill))
 		fill = 0
@@ -114,7 +114,7 @@ func pass1Linear(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int
 		b.N = f.Bytes(int(cnt))
 		return n.Disk.ReadAt(cfg.Spec.InputName, b.Data[:b.N], off*int64(f.Size))
 	})
-	pipe.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters))
+	pipe.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.Parallelism))
 	pipe.AddStage("send", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		counts := b.Meta.([]int)
 		off := 0

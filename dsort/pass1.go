@@ -26,37 +26,22 @@ func selectSplitters(n *cluster.Node, cfg Config) ([]records.ExtKey, error) {
 }
 
 // permuteStage returns the round function that rearranges a buffer so that
-// records of the same partition are contiguous: a counting sort on the
-// partition index, out of place through the auxiliary buffer (the FG
-// feature the paper's permute stage relies on). The extended key — (key,
-// origin node, input position) — decides each record's partition; it never
-// becomes part of the record. The per-partition counts travel with the
-// buffer as its Meta.
-func permuteStage(f records.Format, p, rank, bufRecs int, splitters []records.ExtKey) fg.RoundFunc {
-	size := f.Size
+// records of the same partition are contiguous: a stable partition scatter
+// on the partition index, out of place through the auxiliary buffer (the
+// FG feature the paper's permute stage relies on). The extended key —
+// (key, origin node, input position) — decides each record's partition; it
+// never becomes part of the record. The classification and scatter run on
+// the shared worker pool with up to `workers` executors
+// (sortalgo.PartitionRecords; workers <= 1 is the serial counting sort).
+// The per-partition counts travel with the buffer as its Meta.
+func permuteStage(f records.Format, p, rank, bufRecs int, splitters []records.ExtKey, workers int) fg.RoundFunc {
 	return func(ctx *fg.Ctx, b *fg.Buffer) error {
-		cnt := f.Count(b.N)
 		base := int64(b.Round) * int64(bufRecs)
-		counts := make([]int, p)
-		parts := make([]uint16, cnt)
-		for i := 0; i < cnt; i++ {
-			e := records.ExtKey{Key: f.KeyAt(b.Data, i), Node: uint32(rank), Seq: uint64(base) + uint64(i)}
-			d := splitter.Partition(splitters, e)
-			parts[i] = uint16(d)
-			counts[d]++
-		}
-		offsets := make([]int, p)
-		pos := 0
-		for d := 0; d < p; d++ {
-			offsets[d] = pos
-			pos += counts[d]
-		}
-		aux := b.Aux()
-		for i := 0; i < cnt; i++ {
-			d := parts[i]
-			copy(aux[offsets[d]*size:], b.Data[i*size:(i+1)*size])
-			offsets[d]++
-		}
+		data := b.Bytes()
+		counts := sortalgo.PartitionRecords(f, data, b.Aux()[:b.N], p, func(i int) int {
+			e := records.ExtKey{Key: f.KeyAt(data, i), Node: uint32(rank), Seq: uint64(base) + uint64(i)}
+			return splitter.Partition(splitters, e)
+		}, workers)
 		b.SwapAux()
 		b.Meta = counts
 		return nil
@@ -92,7 +77,7 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 		b.N = f.Bytes(int(cnt))
 		return n.Disk.ReadAt(cfg.Spec.InputName, b.Data[:b.N], off*int64(size))
 	}))
-	send.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters))
+	send.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.Parallelism))
 	send.AddStage("send", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		counts := b.Meta.([]int)
 		off := 0
@@ -144,8 +129,11 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 	})
 	recv.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		// Each full buffer becomes one sorted run, ordered by the records'
-		// original (non-extended) keys.
-		sortalgo.SortRecords(f, b.Bytes(), b.Aux())
+		// original (non-extended) keys. The multicore radix sort spreads
+		// the buffer across the shared worker pool; while the receive
+		// stage blocks on the network, the sort stage can use the idle
+		// cores.
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), cfg.Parallelism)
 		return nil
 	})
 	// Only the disk write is retried; the run-length bookkeeping must

@@ -3,9 +3,11 @@ package dsort
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/internal/sortalgo"
 	"github.com/fg-go/fg/mergetree"
 )
 
@@ -125,13 +127,33 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 				}
 				ob = b
 			}
-			copy(ob.Data[ob.N:], heads[i].Data[idx[i]*size:(idx[i]+1)*size])
-			ob.N += size
+			// Emit an extent, not a record: everything the leading run can
+			// contribute before any other run's current key — found with
+			// the same key binary search that splits the parallel two-way
+			// merge — moves in one copy, and the tournament tree is
+			// consulted per extent instead of per record. Closing leaf i
+			// makes the tree report the runner-up key; Set/Close below
+			// reopens or retires the leaf. Uniformly interleaved runs
+			// degrade to single-record extents, while duplicate-heavy and
+			// pre-partitioned inputs (and the single-run tail) collapse to
+			// block copies.
+			limit := uint64(math.MaxUint64)
+			tree.Close(i)
+			if _, k2, ok2 := tree.Min(); ok2 {
+				limit = k2
+			}
+			rest := heads[i].Data[idx[i]*size : heads[i].N]
+			m := sortalgo.KeyUpperBound(f, rest, limit) // >= 1: the lead key is <= limit
+			if space := (ob.Cap() - ob.N) / size; m > space {
+				m = space
+			}
+			copy(ob.Data[ob.N:], rest[:m*size])
+			ob.N += m * size
+			idx[i] += m
 			if ob.N == ob.Cap() {
 				ctx.Convey(ob)
 				ob = nil
 			}
-			idx[i]++
 			if idx[i]*size == heads[i].N {
 				if err := advance(i); err != nil {
 					return err

@@ -85,4 +85,18 @@
 // callback that fires at the instant of the first error, before the unwind,
 // so node programs can trigger cluster-wide teardown (cluster.Abort) that
 // releases such peers.
+//
+// # Multicore parallelism
+//
+// FG offers two complementary ways to put multiple cores behind compute
+// stages. Stage.Replicate serves one stage position with n workers that
+// share its queues: throughput scales, but buffers may leave the stage out
+// of order and n buffers are in flight in the stage at once. Intra-buffer
+// parallelism — the multicore sort/merge/partition kernels the sorting
+// programs enable through their Parallelism knobs — instead splits the
+// work on each single buffer across a process-wide bounded worker pool:
+// buffer order is preserved and no extra buffers are consumed. Both draw
+// on the same shared pool, so enabling both at once divides the machine
+// between them rather than oversubscribing it. See Replicate's
+// documentation for how to choose.
 package fg

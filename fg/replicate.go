@@ -17,6 +17,28 @@ import (
 //
 // This is an extension beyond the paper's published FG, flagged as such in
 // DESIGN.md.
+//
+// Replication is one of two ways to put cores behind a compute stage; the
+// other is intra-buffer parallelism: the multicore kernels in
+// internal/sortalgo (parallel radix sort, merge, partition) that the
+// sorting programs enable through the Parallelism knob on their configs.
+// They differ in what they trade away. Replicate pipelines across buffers —
+// n buffers are inside the stage at once (shrinking the pool slack that
+// hides I/O latency elsewhere) and output order is not preserved.
+// Intra-buffer parallelism splits the work on each single buffer — order is
+// preserved and no extra buffers are consumed, but it only pays off when
+// one buffer carries enough work to shard (the kernels fall back to serial
+// below tuned thresholds). Prefer intra-buffer parallelism for large
+// buffers and order-sensitive consumers; prefer Replicate for many small
+// independent rounds.
+//
+// Both mechanisms may be enabled at once without oversubscribing the
+// machine: the intra-buffer kernels draw from one process-wide pool
+// (internal/parallel) bounded at GOMAXPROCS-1 helpers, and a stage's worker
+// always executes its own share, so n replicas each running a parallel
+// kernel compete for the same bounded helper set rather than spawning n
+// pools. The cost of combining them is only that each replica sees fewer
+// idle helpers, degrading toward plain replication.
 
 // Replicate asks for n parallel workers for this stage. It panics unless
 // the stage is a round stage on the spine of exactly one ordinary

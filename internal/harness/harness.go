@@ -32,6 +32,13 @@ type Params struct {
 	Disk           pdm.DiskModel
 	Network        cluster.NetworkModel
 	Verify         bool
+
+	// Parallelism is handed to every program's config as its intra-buffer
+	// parallelism knob (dsort.Config.Parallelism, colsort.Plan.Parallelism):
+	// 0 uses all cores, 1 pins the compute kernels to their serial paths.
+	// The serial-vs-parallel end-to-end benchmarks flip this and nothing
+	// else.
+	Parallelism int
 }
 
 // DefaultParams mirrors the paper's machine at laptop scale: 16 nodes and
@@ -127,12 +134,14 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 		switch prog {
 		case Dsort:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
+			cfg.Parallelism = pr.Parallelism
 			if buffers > 0 {
 				cfg.Buffers = buffers
 			}
 			res, err = dsort.Run(n, cfg)
 		case DsortLinear:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
+			cfg.Parallelism = pr.Parallelism
 			if buffers > 0 {
 				cfg.Buffers = buffers
 			}
@@ -142,6 +151,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 			if perr != nil {
 				return perr
 			}
+			pl.Parallelism = pr.Parallelism
 			b := colsort.DefaultPipelineBuffers
 			if buffers > 0 {
 				b = buffers
@@ -346,6 +356,7 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 	oocsort.CollectDiskStats(c)
 	oocsort.CollectCommStats(c)
 	cfg := dsort.DefaultConfig(spec, pr.Nodes)
+	cfg.Parallelism = pr.Parallelism
 	mutate(&cfg)
 	results := make([]oocsort.Result, pr.Nodes)
 	err = c.Run(func(n *cluster.Node) error {

@@ -1,0 +1,311 @@
+package sortalgo
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"github.com/fg-go/fg/records"
+)
+
+// workerCounts are the widths every parallel-vs-serial test sweeps:
+// forced-serial, minimal parallelism, the machine's width, and
+// oversubscription beyond it.
+func workerCounts() []int {
+	return []int{1, 2, runtime.NumCPU(), 2*runtime.NumCPU() + 1}
+}
+
+// lowerThresholds drops the serial-fallback thresholds so the parallel
+// code paths run even on the small inputs property tests use, restoring
+// the tuned values afterwards.
+func lowerThresholds(t *testing.T) {
+	t.Helper()
+	sortMin, mergeMin, partMin, shardMin := parallelSortMinRecords, parallelMergeMinRecords, parallelPartitionMinRecords, minShardRecords
+	parallelSortMinRecords, parallelMergeMinRecords, parallelPartitionMinRecords, minShardRecords = 8, 8, 8, 2
+	t.Cleanup(func() {
+		parallelSortMinRecords, parallelMergeMinRecords, parallelPartitionMinRecords, minShardRecords = sortMin, mergeMin, partMin, shardMin
+	})
+}
+
+func recordsFromKeys(f records.Format, keys []uint64) []byte {
+	data := make([]byte, f.Bytes(len(keys)))
+	for i, k := range keys {
+		rec := f.At(data, i)
+		f.SetKey(rec, k)
+		if f.HasID() {
+			f.StampID(rec, records.MakeID(0, uint64(i)))
+		}
+	}
+	return data
+}
+
+// TestSortRecordsParallelMatchesSerial is the byte-identity property: for
+// any input and any worker count, the parallel radix sort must produce
+// exactly the bytes the serial sort produces. Because every record carries
+// a unique id, byte identity also proves stability on duplicate keys.
+func TestSortRecordsParallelMatchesSerial(t *testing.T) {
+	lowerThresholds(t)
+	f := records.NewFormat(16)
+	for _, workers := range workerCounts() {
+		workers := workers
+		fn := func(keys []uint64, narrow bool) bool {
+			if narrow { // force long runs of duplicate keys
+				for i := range keys {
+					keys[i] %= 4
+				}
+			}
+			want := recordsFromKeys(f, keys)
+			got := append([]byte(nil), want...)
+			SortRecords(f, want, make([]byte, len(want)))
+			SortRecordsParallel(f, got, make([]byte, len(got)), workers)
+			return bytes.Equal(got, want)
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestSortRecordsParallelLarge exercises the tuned (un-lowered) thresholds
+// with a buffer big enough to shard for real, on every worker count.
+func TestSortRecordsParallelLarge(t *testing.T) {
+	f := records.NewFormat(16)
+	const n = 48 << 10 // above parallelSortMinRecords
+	for _, space := range []uint64{0, 1, 5, 1 << 40} {
+		orig := randomRecords(f, n, space, int64(space)+11)
+		want := append([]byte(nil), orig...)
+		SortRecords(f, want, make([]byte, len(want)))
+		for _, workers := range workerCounts() {
+			got := append([]byte(nil), orig...)
+			SortRecordsParallel(f, got, make([]byte, len(got)), workers)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("space=%d workers=%d: parallel sort diverges from serial", space, workers)
+			}
+		}
+	}
+}
+
+func TestMergeSortedParallelMatchesSerial(t *testing.T) {
+	lowerThresholds(t)
+	f := records.NewFormat(16)
+	for _, workers := range workerCounts() {
+		workers := workers
+		fn := func(ka, kb []uint64, narrow bool) bool {
+			if narrow {
+				for i := range ka {
+					ka[i] %= 3
+				}
+				for i := range kb {
+					kb[i] %= 3
+				}
+			}
+			a := recordsFromKeys(f, ka)
+			b := recordsFromKeys(f, kb)
+			SortRecords(f, a, make([]byte, len(a)))
+			SortRecords(f, b, make([]byte, len(b)))
+			want := make([]byte, len(a)+len(b))
+			got := make([]byte, len(a)+len(b))
+			MergeSorted(f, a, b, want)
+			MergeSortedParallel(f, a, b, got, workers)
+			return bytes.Equal(got, want)
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestMergeSortedParallelAllEqual pins the stability corner directly: with
+// every key equal, the merge must emit all of a then all of b, at every
+// worker count, so the key-split cuts may not interleave the sides.
+func TestMergeSortedParallelAllEqual(t *testing.T) {
+	lowerThresholds(t)
+	f := records.NewFormat(16)
+	const na, nb = 700, 500
+	mk := func(n, node int) []byte {
+		data := make([]byte, f.Bytes(n))
+		for i := 0; i < n; i++ {
+			f.SetKey(f.At(data, i), 77)
+			f.StampID(f.At(data, i), records.MakeID(uint32(node), uint64(i)))
+		}
+		return data
+	}
+	a, b := mk(na, 1), mk(nb, 2)
+	for _, workers := range workerCounts() {
+		dst := make([]byte, len(a)+len(b))
+		MergeSortedParallel(f, a, b, dst, workers)
+		for i := 0; i < na+nb; i++ {
+			wantNode, wantSeq := uint32(1), uint64(i)
+			if i >= na {
+				wantNode, wantSeq = 2, uint64(i-na)
+			}
+			node, seq := records.SplitID(f.IDAt(dst, i))
+			if node != wantNode || seq != wantSeq {
+				t.Fatalf("workers=%d: position %d holds (n%d,#%d), want (n%d,#%d)",
+					workers, i, node, seq, wantNode, wantSeq)
+			}
+		}
+	}
+}
+
+func TestKeyUpperBound(t *testing.T) {
+	f := records.NewFormat(16)
+	keys := []uint64{1, 3, 3, 3, 9, 9, 12}
+	data := recordsFromKeys(f, keys)
+	for _, tc := range []struct {
+		key  uint64
+		want int
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 4}, {8, 4}, {9, 6}, {12, 7}, {99, 7}} {
+		if got := KeyUpperBound(f, data, tc.key); got != tc.want {
+			t.Errorf("KeyUpperBound(%d) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	if got := KeyUpperBound(f, nil, 5); got != 0 {
+		t.Errorf("KeyUpperBound on empty data = %d, want 0", got)
+	}
+}
+
+// partitionOracle is the original serial permute: counting sort on the
+// partition index.
+func partitionOracle(f records.Format, data []byte, parts int, classify func(i int) int) ([]byte, []int) {
+	n := f.Count(len(data))
+	size := f.Size
+	counts := make([]int, parts)
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx[i] = classify(i)
+		counts[idx[i]]++
+	}
+	offsets := make([]int, parts)
+	pos := 0
+	for d := 0; d < parts; d++ {
+		offsets[d] = pos
+		pos += counts[d]
+	}
+	out := make([]byte, len(data))
+	for i := 0; i < n; i++ {
+		d := idx[i]
+		copy(out[offsets[d]*size:], data[i*size:(i+1)*size])
+		offsets[d]++
+	}
+	return out, counts
+}
+
+func TestPartitionRecordsMatchesOracle(t *testing.T) {
+	lowerThresholds(t)
+	f := records.NewFormat(16)
+	for _, workers := range workerCounts() {
+		workers := workers
+		fn := func(keys []uint64, parts8 uint8) bool {
+			parts := int(parts8%16) + 1
+			data := recordsFromKeys(f, keys)
+			classify := func(i int) int { return int(f.KeyAt(data, i) % uint64(parts)) }
+			want, wantCounts := partitionOracle(f, data, parts, classify)
+			dst := make([]byte, len(data))
+			gotCounts := PartitionRecords(f, data, dst, parts, classify, workers)
+			if !bytes.Equal(dst, want) {
+				return false
+			}
+			for d := range wantCounts {
+				if gotCounts[d] != wantCounts[d] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestPartitionRecordsLarge(t *testing.T) {
+	f := records.NewFormat(16)
+	const n, parts = 40 << 10, 16
+	data := randomRecords(f, n, 0, 99)
+	classify := func(i int) int { return int(f.KeyAt(data, i) % parts) }
+	want, _ := partitionOracle(f, data, parts, classify)
+	for _, workers := range workerCounts() {
+		dst := make([]byte, len(data))
+		PartitionRecords(f, data, dst, parts, classify, workers)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("workers=%d: parallel partition diverges from oracle", workers)
+		}
+	}
+}
+
+// benchRecords is the kernel benchmark size: records per buffer. 2^17
+// 16-byte records is 2 MiB — the scale of a dsort run buffer at the
+// paper's full workload, and far above the serial-fallback thresholds.
+const benchRecords = 1 << 17
+
+func benchSort(b *testing.B, workers int) {
+	f := records.NewFormat(16)
+	orig := randomRecords(f, benchRecords, 0, 1)
+	data := make([]byte, len(orig))
+	scratch := make([]byte, len(orig))
+	b.SetBytes(int64(len(orig)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		SortRecordsParallel(f, data, scratch, workers)
+	}
+}
+
+// BenchmarkKernelSortSerial vs BenchmarkKernelSortParallel is the
+// acceptance pair: uniform 16-byte records at bench buffer size; the
+// parallel variant should run >= 2x faster on a >= 4-core machine.
+func BenchmarkKernelSortSerial(b *testing.B)   { benchSort(b, 1) }
+func BenchmarkKernelSortParallel(b *testing.B) { benchSort(b, 0) }
+
+func benchMerge(b *testing.B, workers int) {
+	f := records.NewFormat(16)
+	a := randomRecords(f, benchRecords/2, 0, 2)
+	c := randomRecords(f, benchRecords/2, 0, 3)
+	SortRecords(f, a, make([]byte, len(a)))
+	SortRecords(f, c, make([]byte, len(c)))
+	dst := make([]byte, len(a)+len(c))
+	b.SetBytes(int64(len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeSortedParallel(f, a, c, dst, workers)
+	}
+}
+
+func BenchmarkKernelMergeSerial(b *testing.B)   { benchMerge(b, 1) }
+func BenchmarkKernelMergeParallel(b *testing.B) { benchMerge(b, 0) }
+
+func benchPartition(b *testing.B, workers int) {
+	f := records.NewFormat(16)
+	const parts = 16
+	data := randomRecords(f, benchRecords, 0, 4)
+	dst := make([]byte, len(data))
+	classify := func(i int) int { return int(f.KeyAt(data, i) % parts) }
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionRecords(f, data, dst, parts, classify, workers)
+	}
+}
+
+func BenchmarkKernelPartitionSerial(b *testing.B)   { benchPartition(b, 1) }
+func BenchmarkKernelPartitionParallel(b *testing.B) { benchPartition(b, 0) }
+
+// BenchmarkKernelComparisonSortPooled tracks the sync.Pool satellite: the
+// comparison sort's allocs/op must stay at zero at steady state.
+func BenchmarkKernelComparisonSortPooled(b *testing.B) {
+	f := records.NewFormat(16)
+	orig := randomRecords(f, 1<<12, 0, 5)
+	data := make([]byte, len(orig))
+	b.SetBytes(int64(len(orig)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(data, orig)
+		SortRecordsComparison(f, data)
+	}
+}

@@ -8,6 +8,7 @@ package sortalgo
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/fg-go/fg/records"
 )
@@ -95,6 +96,12 @@ func radixSort(f records.Format, data, scratch []byte, n int) {
 	}
 }
 
+// recordSlicePool recycles the sorter header and its one-record swap
+// temporary across calls: comparison sorts run once per pipeline round for
+// the life of a sort, and the pool keeps them allocation-free at steady
+// state (see the -benchmem kernel benchmarks).
+var recordSlicePool = sync.Pool{New: func() any { return new(recordSlice) }}
+
 // SortRecordsComparison sorts data with the standard library's comparison
 // sort; the tests use it as an independent oracle, and callers can prefer
 // it for very large records where moving whole records per radix pass is
@@ -102,8 +109,14 @@ func radixSort(f records.Format, data, scratch []byte, n int) {
 func SortRecordsComparison(f records.Format, data []byte) {
 	n := f.Count(len(data))
 	size := f.Size
-	tmp := make([]byte, size)
-	sort.Stable(&recordSlice{f: f, data: data, tmp: tmp, n: n, size: size})
+	r := recordSlicePool.Get().(*recordSlice)
+	if cap(r.tmp) < size {
+		r.tmp = make([]byte, size)
+	}
+	r.f, r.data, r.tmp, r.n, r.size = f, data, r.tmp[:size], n, size
+	sort.Stable(r)
+	r.data = nil // do not retain the caller's buffer
+	recordSlicePool.Put(r)
 }
 
 type recordSlice struct {
