@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Any-source receives, the analogue of MPI_Recv with MPI_ANY_SOURCE.
 // dsort's receive stages cannot know which node will send next — the whole
@@ -44,39 +47,39 @@ func (n *Node) SendAny(dst int, tag int64, data []byte) {
 	msg := make([]byte, len(data))
 	copy(msg, data)
 
+	start := time.Now()
 	if dst != n.rank {
 		cost := n.cluster.cfg.Network.Cost(len(data))
 		n.nic.Charge(cost)
-		n.mu.Lock()
-		n.stats.SendBusy += cost
-		n.mu.Unlock()
+		n.stats.sendBusy.Add(int64(cost))
 	}
-	n.mu.Lock()
-	n.stats.MessagesSent++
-	n.stats.BytesSent += int64(len(data))
-	n.mu.Unlock()
+	n.stats.msgsSent.Add(1)
+	n.stats.bytesSent.Add(int64(len(data)))
 
 	select {
 	case n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, data: msg}:
 	case <-n.cluster.aborted:
 		n.abortPanic("send", dst)
 	}
+	n.stats.sendWait.Add(int64(time.Since(start)))
+	n.observe("send", dst, len(data), start)
 }
 
 // RecvAny blocks until any node's SendAny for this tag arrives, returning
 // the sender's rank and the payload.
 func (n *Node) RecvAny(tag int64) (src int, data []byte) {
 	n.checkFault("recv", -1, 0)
+	start := time.Now()
 	var msg anyMessage
 	select {
 	case msg = <-n.anyMailbox(tag):
 	case <-n.cluster.aborted:
 		n.abortPanic("recv", -1)
 	}
-	n.mu.Lock()
-	n.stats.MessagesRecvd++
-	n.stats.BytesRecvd += int64(len(msg.data))
-	n.mu.Unlock()
+	n.stats.msgsRecvd.Add(1)
+	n.stats.bytesRecvd.Add(int64(len(msg.data)))
+	n.stats.recvWait.Add(int64(time.Since(start)))
+	n.observe("recv", -1, len(msg.data), start)
 	return msg.src, msg.data
 }
 
@@ -99,10 +102,8 @@ func (c *Comm) RecvAny(tag int64) (src int, data []byte) {
 func (n *Node) TryRecvAny(tag int64) (src int, data []byte, ok bool) {
 	select {
 	case msg := <-n.anyMailbox(tag):
-		n.mu.Lock()
-		n.stats.MessagesRecvd++
-		n.stats.BytesRecvd += int64(len(msg.data))
-		n.mu.Unlock()
+		n.stats.msgsRecvd.Add(1)
+		n.stats.bytesRecvd.Add(int64(len(msg.data)))
 		return msg.src, msg.data, true
 	default:
 		return 0, nil, false

@@ -19,7 +19,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fg-go/fg/pdm"
@@ -212,7 +214,36 @@ type CommStats struct {
 	// SendBusy is the total simulated time this node's NIC spent
 	// transmitting.
 	SendBusy time.Duration
+	// SendWait and RecvWait are the total wall time the node's goroutines
+	// spent blocked inside Send/SendAny (including the simulated transfer)
+	// and Recv/RecvAny respectively. Summed across the goroutines of an FG
+	// network they show how much communication latency the pipelines had to
+	// hide.
+	SendWait time.Duration
+	RecvWait time.Duration
 }
+
+// commCounters is the lock-free backing store for CommStats: the hot
+// communication paths add to atomics so a Stats snapshot (a metrics scrape
+// mid-run, say) never contends with them.
+type commCounters struct {
+	msgsSent   atomic.Int64
+	bytesSent  atomic.Int64
+	msgsRecvd  atomic.Int64
+	bytesRecvd atomic.Int64
+	sendBusy   atomic.Int64 // ns
+	sendWait   atomic.Int64 // ns
+	recvWait   atomic.Int64 // ns
+}
+
+// A CommObserver is called after each completed blocking communication
+// operation. op is "send" or "recv", peer the destination or source rank
+// (-1 for any-source receives), nbytes the payload size, and [start, end)
+// the operation's wall-clock interval, blocking included. Observers run on
+// the communicating goroutine and must be fast and safe for concurrent
+// calls; the experiment harness uses one to put comm intervals on an
+// fg.Tracer timeline. Non-blocking TryRecv variants are not observed.
+type CommObserver func(op string, peer, nbytes int, start, end time.Time)
 
 // A Node is one simulated cluster node. Its methods are safe for use from
 // any number of the node's goroutines concurrently.
@@ -223,8 +254,10 @@ type Node struct {
 
 	mu        sync.Mutex
 	mailboxes map[mailboxKey]chan []byte
-	stats     CommStats
 	fault     func(op string, peer int, nbytes int) error
+
+	stats commCounters
+	obs   atomic.Pointer[CommObserver]
 
 	anyMu    sync.Mutex
 	anyBoxes map[anyMailboxKey]chan anyMessage
@@ -246,18 +279,47 @@ func (n *Node) P() int { return n.cluster.cfg.Nodes }
 // Cluster returns the cluster this node belongs to.
 func (n *Node) Cluster() *Cluster { return n.cluster }
 
-// Stats returns a snapshot of the node's communication counters.
+// Stats returns a snapshot of the node's communication counters. It is
+// lock-free and safe to call at any time, including concurrently with the
+// node's communication.
 func (n *Node) Stats() CommStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return CommStats{
+		MessagesSent:  n.stats.msgsSent.Load(),
+		BytesSent:     n.stats.bytesSent.Load(),
+		MessagesRecvd: n.stats.msgsRecvd.Load(),
+		BytesRecvd:    n.stats.bytesRecvd.Load(),
+		SendBusy:      time.Duration(n.stats.sendBusy.Load()),
+		SendWait:      time.Duration(n.stats.sendWait.Load()),
+		RecvWait:      time.Duration(n.stats.recvWait.Load()),
+	}
 }
 
 // ResetStats zeroes the node's communication counters.
 func (n *Node) ResetStats() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats = CommStats{}
+	n.stats.msgsSent.Store(0)
+	n.stats.bytesSent.Store(0)
+	n.stats.msgsRecvd.Store(0)
+	n.stats.bytesRecvd.Store(0)
+	n.stats.sendBusy.Store(0)
+	n.stats.sendWait.Store(0)
+	n.stats.recvWait.Store(0)
+}
+
+// SetCommObserver installs (or, with nil, removes) an observer for this
+// node's blocking communication operations.
+func (n *Node) SetCommObserver(f CommObserver) {
+	if f == nil {
+		n.obs.Store(nil)
+		return
+	}
+	n.obs.Store(&f)
+}
+
+// observe reports one completed operation to the observer, if any.
+func (n *Node) observe(op string, peer, nbytes int, start time.Time) {
+	if f := n.obs.Load(); f != nil {
+		(*f)(op, peer, nbytes, start, time.Now())
+	}
 }
 
 // SetFault installs a fault injector on this node's communication: before
@@ -313,24 +375,22 @@ func (n *Node) Send(dst int, tag int64, data []byte) {
 	msg := make([]byte, len(data))
 	copy(msg, data)
 
+	start := time.Now()
 	if dst != n.rank {
 		cost := n.cluster.cfg.Network.Cost(len(data))
 		n.nic.Charge(cost)
-		n.mu.Lock()
-		n.stats.SendBusy += cost
-		n.mu.Unlock()
+		n.stats.sendBusy.Add(int64(cost))
 	}
-
-	n.mu.Lock()
-	n.stats.MessagesSent++
-	n.stats.BytesSent += int64(len(data))
-	n.mu.Unlock()
+	n.stats.msgsSent.Add(1)
+	n.stats.bytesSent.Add(int64(len(data)))
 
 	select {
 	case n.cluster.nodes[dst].mailbox(n.rank, tag) <- msg:
 	case <-n.cluster.aborted:
 		n.abortPanic("send", dst)
 	}
+	n.stats.sendWait.Add(int64(time.Since(start)))
+	n.observe("send", dst, len(data), start)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -340,16 +400,17 @@ func (n *Node) Recv(src int, tag int64) []byte {
 		panic(fmt.Sprintf("cluster: node %d receiving from invalid rank %d", n.rank, src))
 	}
 	n.checkFault("recv", src, 0)
+	start := time.Now()
 	var msg []byte
 	select {
 	case msg = <-n.mailbox(src, tag):
 	case <-n.cluster.aborted:
 		n.abortPanic("recv", src)
 	}
-	n.mu.Lock()
-	n.stats.MessagesRecvd++
-	n.stats.BytesRecvd += int64(len(msg))
-	n.mu.Unlock()
+	n.stats.msgsRecvd.Add(1)
+	n.stats.bytesRecvd.Add(int64(len(msg)))
+	n.stats.recvWait.Add(int64(time.Since(start)))
+	n.observe("recv", src, len(msg), start)
 	return msg
 }
 
@@ -358,12 +419,32 @@ func (n *Node) Recv(src int, tag int64) []byte {
 func (n *Node) TryRecv(src int, tag int64) ([]byte, bool) {
 	select {
 	case msg := <-n.mailbox(src, tag):
-		n.mu.Lock()
-		n.stats.MessagesRecvd++
-		n.stats.BytesRecvd += int64(len(msg))
-		n.mu.Unlock()
+		n.stats.msgsRecvd.Add(1)
+		n.stats.bytesRecvd.Add(int64(len(msg)))
 		return msg, true
 	default:
 		return nil, false
+	}
+}
+
+// EmitMetrics feeds every node's communication counters to emit, one
+// sample per counter labeled by node rank. The signature matches what
+// fg.MetricsRegistry.RegisterFunc accepts, without this package importing
+// fg:
+//
+//	registry.RegisterFunc(func(emit fg.EmitFunc) { c.EmitMetrics(emit) })
+func (c *Cluster) EmitMetrics(emit func(name string, labels map[string]string, value float64)) {
+	for _, n := range c.nodes {
+		s := n.Stats()
+		l := func() map[string]string {
+			return map[string]string{"node": strconv.Itoa(n.rank)}
+		}
+		emit("cluster_messages_sent_total", l(), float64(s.MessagesSent))
+		emit("cluster_bytes_sent_total", l(), float64(s.BytesSent))
+		emit("cluster_messages_recvd_total", l(), float64(s.MessagesRecvd))
+		emit("cluster_bytes_recvd_total", l(), float64(s.BytesRecvd))
+		emit("cluster_send_busy_seconds_total", l(), s.SendBusy.Seconds())
+		emit("cluster_send_wait_seconds_total", l(), s.SendWait.Seconds())
+		emit("cluster_recv_wait_seconds_total", l(), s.RecvWait.Seconds())
 	}
 }

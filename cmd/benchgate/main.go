@@ -1,0 +1,135 @@
+// Command benchgate compares a fresh kernel-benchmark report (the
+// BENCH_kernels.json that cmd/benchjson emits in CI) against the committed
+// baseline (BENCH_baseline.json) and fails when a benchmark regresses on a
+// metric that a 1x run measures exactly.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_kernels.json
+//
+// The gate is deliberately asymmetric about which metrics it enforces:
+//
+//   - allocs/op is exact and load-bearing — the pooled kernels are designed
+//     to allocate nothing in steady state, so any drift is a real leak into
+//     the hot path. A zero baseline must stay zero; a nonzero baseline may
+//     grow to at most 1.5x + 8 allocations before the gate trips.
+//   - ns/op from a -benchtime=1x run is noise on shared CI runners, so
+//     timing drift is reported as an advisory, never a failure.
+//
+// Benchmark names are compared with the -N GOMAXPROCS suffix stripped, so a
+// runner with a different core count still matches the baseline rows.
+// Benchmarks present on only one side are advisories too: new benchmarks
+// enter the baseline when it is regenerated (see the comment atop
+// BENCH_baseline.json), and vanished ones usually mean a rename.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Result and Report mirror cmd/benchjson's output document.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// procSuffix is the -N the testing package appends for GOMAXPROCS.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m[procSuffix.ReplaceAllString(b.Name, "")] = b
+	}
+	return m, nil
+}
+
+// allocBudget returns the ceiling the current allocs/op must stay under for
+// the given baseline value, and whether exceeding it is fatal.
+func allocBudget(baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return baseline*1.5 + 8
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	curPath := flag.String("current", "BENCH_kernels.json", "freshly measured report")
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("advisory: %s is in the baseline but was not measured (renamed or deleted?)\n", name)
+			continue
+		}
+		ba, bok := b.Metrics["allocs/op"]
+		ca, cok := c.Metrics["allocs/op"]
+		if bok && cok {
+			if limit := allocBudget(ba); ca > limit {
+				fmt.Printf("FAIL: %s allocs/op %.0f exceeds baseline %.0f (limit %.0f)\n", name, ca, ba, limit)
+				failures++
+			}
+		}
+		bn, bok := b.Metrics["ns/op"]
+		cn, cok := c.Metrics["ns/op"]
+		if bok && cok && bn > 0 && cn > 2*bn {
+			fmt.Printf("advisory: %s ns/op %.0f is %.1fx the baseline %.0f (1x-run timing is noisy; not fatal)\n",
+				name, cn, cn/bn, bn)
+		}
+	}
+	extra := make([]string, 0)
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		fmt.Printf("advisory: %s is new (not in the baseline; regenerate BENCH_baseline.json to gate it)\n", n)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d allocation regression(s) against %s\n", failures, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks checked against %s, no allocation regressions\n", len(names), *basePath)
+}

@@ -25,14 +25,16 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "fig8a", "comma-separated experiments: fig8a,fig8b,skew,linear,overlap,iovolume,splitters,passes,buffers,all")
-		nodes   = flag.Int("nodes", 16, "cluster size P")
-		logRecs = flag.Int("records", 20, "log2 of the total record count N")
-		cpn     = flag.Int("cpn", 4, "csort columns per node (S = cpn*P)")
-		trials  = flag.Int("trials", 1, "runs to average per cell (the paper used 3)")
-		verify  = flag.Bool("verify", true, "verify every sort's output")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		par     = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		exps     = flag.String("exp", "fig8a", "comma-separated experiments: fig8a,fig8b,skew,linear,overlap,iovolume,splitters,passes,buffers,all")
+		nodes    = flag.Int("nodes", 16, "cluster size P")
+		logRecs  = flag.Int("records", 20, "log2 of the total record count N")
+		cpn      = flag.Int("cpn", 4, "csort columns per node (S = cpn*P)")
+		trials   = flag.Int("trials", 1, "runs to average per cell (the paper used 3)")
+		verify   = flag.Bool("verify", true, "verify every sort's output")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		par      = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while experiments run")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of every run (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fgexp: warmup: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Attach observability after the warmup so its run is not traced.
+	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgexp: %v\n", err)
+		os.Exit(1)
+	}
+	pr.Observe = obs
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
@@ -81,6 +91,11 @@ func main() {
 	run("overlap", overlap)
 	run("passes", passes)
 	run("buffers", bufferSweep)
+
+	if err := finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "fgexp: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // bufferSweep reproduces the paper's methodological note that "all results
@@ -215,8 +230,9 @@ func iovolume(pr harness.Params) error {
 	return nil
 }
 
-func linear(harness.Params) error {
+func linear(base harness.Params) error {
 	pr := harness.AblationParams()
+	pr.Observe = base.Observe
 	fmt.Printf("Multiple pipelines vs single linear pipelines (Section VIII), N=%d, P=%d, I/O-bound calibration\n",
 		pr.TotalRecords, pr.Nodes)
 	for _, dist := range []workload.Distribution{workload.Uniform, workload.Poisson, workload.SkewOneNode} {
@@ -235,8 +251,9 @@ func linear(harness.Params) error {
 	return nil
 }
 
-func overlap(harness.Params) error {
+func overlap(base harness.Params) error {
 	pr := harness.AblationParams()
+	pr.Observe = base.Observe
 	fmt.Printf("Overlap ablation (buffer pool 1 serializes each pipeline's stages), N=%d, P=%d, I/O-bound calibration\n",
 		pr.TotalRecords, pr.Nodes)
 	for _, prog := range []harness.Program{harness.Dsort, harness.Csort} {

@@ -19,16 +19,18 @@ import (
 
 func main() {
 	var (
-		program = flag.String("program", "dsort", "dsort, csort, or dsort-linear")
-		nodes   = flag.Int("nodes", 16, "cluster size P")
-		logRecs = flag.Int("records", 18, "log2 of total records N")
-		recSize = flag.Int("record-size", 16, "record size in bytes (>= 8)")
-		distArg = flag.String("dist", "uniform", "key distribution: uniform, all-equal, normal, poisson, skew-one-node, skew-zipf")
-		cpn     = flag.Int("cpn", 2, "csort columns per node")
-		buffers = flag.Int("buffers", 0, "per-pipeline buffer pool (0 = program default)")
-		verify  = flag.Bool("verify", true, "verify the sorted output")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		par     = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		program  = flag.String("program", "dsort", "dsort, csort, or dsort-linear")
+		nodes    = flag.Int("nodes", 16, "cluster size P")
+		logRecs  = flag.Int("records", 18, "log2 of total records N")
+		recSize  = flag.Int("record-size", 16, "record size in bytes (>= 8)")
+		distArg  = flag.String("dist", "uniform", "key distribution: uniform, all-equal, normal, poisson, skew-one-node, skew-zipf")
+		cpn      = flag.Int("cpn", 2, "csort columns per node")
+		buffers  = flag.Int("buffers", 0, "per-pipeline buffer pool (0 = program default)")
+		verify   = flag.Bool("verify", true, "verify the sorted output")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		par      = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while the run is in flight")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -49,11 +51,20 @@ func main() {
 	}
 	pr.Parallelism = *par
 
+	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr.Observe = obs
+
 	res, err := pr.Run(harness.Program(*program), dist, *buffers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
+	if err := finish(); err != nil {
+		log.Fatal(err)
+	}
 	if *verify {
 		fmt.Println("output verified: globally sorted, PDM-striped, permutation of input")
 	}
@@ -61,6 +72,7 @@ func main() {
 	fmt.Printf("disk:    %d ops, %d bytes (%.2fx the data), head busy %v\n",
 		res.Disk.ReadOps+res.Disk.WriteOps, res.Disk.TotalBytes(),
 		float64(res.Disk.TotalBytes())/float64(data), res.Disk.Busy.Round(time.Millisecond))
-	fmt.Printf("network: %d messages, %d bytes sent, NICs busy %v\n",
-		res.Comm.MessagesSent, res.Comm.BytesSent, res.Comm.SendBusy.Round(time.Millisecond))
+	fmt.Printf("network: %d messages, %d bytes sent, NICs busy %v, blocked sending %v / receiving %v\n",
+		res.Comm.MessagesSent, res.Comm.BytesSent, res.Comm.SendBusy.Round(time.Millisecond),
+		res.Comm.SendWait.Round(time.Millisecond), res.Comm.RecvWait.Round(time.Millisecond))
 }

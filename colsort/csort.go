@@ -102,6 +102,8 @@ func (pl Plan) runTransposePass(n *cluster.Node, commName, inFile, outFile strin
 
 	nw := fg.NewNetwork(fmt.Sprintf("%s@%d", commName, rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := pl.Observe.Attach(nw)
+	defer finish()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -199,6 +201,8 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort.p3@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := pl.Observe.Attach(nw)
+	defer finish()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 

@@ -88,6 +88,8 @@ func (pl Plan) runShiftPass(n *cluster.Node, inFile, outFile string, buffers int
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort4.p3@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := pl.Observe.Attach(nw)
+	defer finish()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -160,6 +162,8 @@ func (pl Plan) runUnshiftPass(n *cluster.Node, inFile string, buffers int) error
 
 	nw := fg.NewNetwork(fmt.Sprintf("csort4.p4@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := pl.Observe.Attach(nw)
+	defer finish()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 

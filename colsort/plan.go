@@ -3,6 +3,7 @@ package colsort
 import (
 	"fmt"
 
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/oocsort"
 )
 
@@ -24,6 +25,11 @@ type Plan struct {
 	// GOMAXPROCS; 1 forces the serial kernels. See DESIGN.md, "Multicore
 	// kernels".
 	Parallelism int
+
+	// Observe, if non-nil, is attached to every network csort builds (one
+	// per pass per node), putting all of them on one trace timeline and
+	// metrics registry. Nil observes nothing and costs nothing.
+	Observe *fg.Observe
 }
 
 // NewPlan validates a job against the columnsort constraints and returns

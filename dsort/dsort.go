@@ -61,6 +61,11 @@ type Config struct {
 	// aborting a long sort. Communication stages are never retried: their
 	// sends are not idempotent. The zero value disables retries.
 	Retry fg.RetryPolicy
+
+	// Observe, if non-nil, is attached to every network dsort builds (one
+	// per pass per node), putting all of them on one trace timeline and
+	// metrics registry. Nil observes nothing and costs nothing.
+	Observe *fg.Observe
 }
 
 // diskStage wraps a disk-touching round stage with the configured retry

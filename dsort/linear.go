@@ -103,6 +103,8 @@ func pass1Linear(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int
 
 	nw := fg.NewNetwork(fmt.Sprintf("dsortlin.p1@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := cfg.Observe.Attach(nw)
+	defer finish()
 	pipe := nw.AddPipeline("main",
 		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Rounds(sendRounds))
 	pipe.AddStage("read", func(ctx *fg.Ctx, b *fg.Buffer) error {
@@ -245,6 +247,8 @@ func pass2Linear(n *cluster.Node, cfg Config, runLens []int) error {
 
 	nw := fg.NewNetwork(fmt.Sprintf("dsortlin.p2@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := cfg.Observe.Attach(nw)
+	defer finish()
 	pipe := nw.AddPipeline("main",
 		fg.Buffers(cfg.Buffers), fg.BufferBytes(hBufBytes+4096), fg.Rounds(hRounds))
 

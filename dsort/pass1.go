@@ -65,6 +65,8 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 
 	nw := fg.NewNetwork(fmt.Sprintf("dsort.p1@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := cfg.Observe.Attach(nw)
+	defer finish()
 
 	send := nw.AddPipeline("send",
 		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Rounds(sendRounds))

@@ -57,6 +57,8 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 
 	nw := fg.NewNetwork(fmt.Sprintf("dsort.p2@%d", rank))
 	nw.OnFail(func(error) { n.Cluster().Abort() })
+	finish := cfg.Observe.Attach(nw)
+	defer finish()
 
 	// Vertical pipelines: one per sorted run, reading the run in small
 	// chunks. All are members of one virtual group, so FG serves their

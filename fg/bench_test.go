@@ -24,6 +24,59 @@ func BenchmarkPipelineRound3Stages(b *testing.B)   { benchPipeline(b, 3, 4) }
 func BenchmarkPipelineRound8Stages(b *testing.B)   { benchPipeline(b, 8, 4) }
 func BenchmarkPipelineRoundOneBuffer(b *testing.B) { benchPipeline(b, 3, 1) }
 
+// BenchmarkObservability pins the cost of the observability subsystem on
+// the stage-runner hot path. "off" is the default configuration — no
+// tracer, no registry — and must match the plain pipeline benchmarks;
+// "traced" attaches a Tracer and "metered" registers the network with a
+// scraping registry mid-run.
+func BenchmarkObservability(b *testing.B) {
+	build := func(rounds int) *Network {
+		nw := NewNetwork("bench")
+		p := nw.AddPipeline("main", Buffers(4), BufferBytes(64), Rounds(rounds))
+		for s := 0; s < 3; s++ {
+			p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+		}
+		return nw
+	}
+	b.Run("off", func(b *testing.B) {
+		nw := build(b.N)
+		b.ResetTimer()
+		if err := nw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		nw := build(b.N)
+		nw.SetTracer(NewTracer(1 << 20))
+		b.ResetTimer()
+		if err := nw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("metered", func(b *testing.B) {
+		nw := build(b.N)
+		r := NewMetricsRegistry()
+		r.RegisterNetwork(nw)
+		stop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Samples()
+				}
+			}
+		}()
+		b.ResetTimer()
+		if err := nw.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		close(stop)
+	})
+}
+
 // BenchmarkVirtualGroup measures the shared-thread dispatch of k virtual
 // pipelines against the same rounds through plain pipelines.
 func BenchmarkVirtualGroup(b *testing.B) {

@@ -1,0 +1,271 @@
+package fg
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Live metrics. A MetricsRegistry turns Network.Stats snapshots (and any
+// extra collectors, such as the cluster's communication counters) into
+// metric samples on demand, and serves them in Prometheus text format over
+// HTTP. The underlying counters are the same lock-free atomics Stats reads,
+// so scraping a registry mid-run is cheap and safe and a network that never
+// registers pays nothing. All registries also appear under the process-wide
+// expvar variable "fg" (at /debug/vars), published once, lazily.
+
+// An EmitFunc receives one metric sample. Collectors registered with
+// RegisterFunc call it once per sample; the labels map must not be retained
+// or mutated after the call. The signature is plain (no fg types) so
+// packages that must not import fg — the cluster, say — can still feed a
+// registry.
+type EmitFunc func(name string, labels map[string]string, value float64)
+
+// A Sample is one metric observation in a registry snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// A MetricsRegistry collects samples from registered networks and
+// collector functions. The zero value is unusable; create with
+// NewMetricsRegistry. Registries are meant to be few and long-lived (one
+// per program, typically), not one per pass.
+type MetricsRegistry struct {
+	mu    sync.Mutex
+	nets  []*Network
+	funcs []func(EmitFunc)
+}
+
+var (
+	regMu      sync.Mutex
+	registries []*MetricsRegistry
+	expvarOnce sync.Once
+)
+
+// NewMetricsRegistry creates a registry and links it into the process-wide
+// expvar export: the variable "fg" (served by expvar's /debug/vars) renders
+// every live registry's samples.
+func NewMetricsRegistry() *MetricsRegistry {
+	r := &MetricsRegistry{}
+	regMu.Lock()
+	registries = append(registries, r)
+	regMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("fg", expvar.Func(func() any {
+			regMu.Lock()
+			regs := append([]*MetricsRegistry(nil), registries...)
+			regMu.Unlock()
+			all := []Sample{}
+			for _, r := range regs {
+				all = append(all, r.Samples()...)
+			}
+			return all
+		}))
+	})
+	return r
+}
+
+// RegisterNetwork adds a network to the registry. Its per-stage and
+// per-pipeline statistics appear in every subsequent snapshot, live during
+// Run and frozen at their totals after.
+func (r *MetricsRegistry) RegisterNetwork(nw *Network) {
+	r.mu.Lock()
+	r.nets = append(r.nets, nw)
+	r.mu.Unlock()
+}
+
+// RegisterFunc adds a collector called on every snapshot. Collectors must
+// be safe to call from any goroutine.
+func (r *MetricsRegistry) RegisterFunc(f func(EmitFunc)) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs = append(r.funcs, f)
+	r.mu.Unlock()
+}
+
+// Samples takes a snapshot of every registered source.
+func (r *MetricsRegistry) Samples() []Sample {
+	r.mu.Lock()
+	nets := append([]*Network(nil), r.nets...)
+	funcs := append([]func(EmitFunc){}, r.funcs...)
+	r.mu.Unlock()
+	var out []Sample
+	emit := func(name string, labels map[string]string, value float64) {
+		out = append(out, Sample{Name: name, Labels: labels, Value: value})
+	}
+	for _, nw := range nets {
+		emitNetwork(nw.Stats(), emit)
+	}
+	for _, f := range funcs {
+		f(emit)
+	}
+	return out
+}
+
+// emitNetwork flattens one stats snapshot into samples.
+func emitNetwork(st NetworkStats, emit EmitFunc) {
+	running := 0.0
+	if st.Running {
+		running = 1
+	}
+	emit("fg_network_running", map[string]string{"network": st.Name}, running)
+	emit("fg_network_wall_seconds", map[string]string{"network": st.Name}, st.Wall.Seconds())
+	for _, p := range st.Pipelines {
+		l := func() map[string]string {
+			return map[string]string{"network": st.Name, "pipeline": p.Name}
+		}
+		emit("fg_pipeline_rounds_total", l(), float64(p.Rounds))
+		emit("fg_pipeline_buffer_bytes", l(), float64(p.BufferBytes))
+		emit("fg_pipeline_pool_idle", l(), float64(p.PoolIdle))
+		emit("fg_pipeline_pool_cap", l(), float64(p.PoolCap))
+	}
+	for _, s := range st.Stages {
+		l := func() map[string]string {
+			return map[string]string{"network": st.Name, "pipeline": s.Pipeline, "stage": s.Stage}
+		}
+		emit("fg_stage_rounds_total", l(), float64(s.Rounds))
+		emit("fg_stage_work_seconds_total", l(), s.Work.Seconds())
+		emit("fg_stage_wait_seconds_total", l(), s.AcceptWait.Seconds())
+		emit("fg_stage_queue_len", l(), float64(s.QueueLen))
+	}
+}
+
+// metricHelp documents the metrics this package emits; collectors may emit
+// names outside this table (they get a generic HELP line).
+var metricHelp = map[string]string{
+	"fg_network_running":          "1 while the network's Run is in flight",
+	"fg_network_wall_seconds":     "elapsed run time (live) or final run duration",
+	"fg_pipeline_rounds_total":    "buffers emitted by the pipeline's source",
+	"fg_pipeline_buffer_bytes":    "capacity of each of the pipeline's buffers",
+	"fg_pipeline_pool_idle":       "buffers sitting idle in the pipeline's pool",
+	"fg_pipeline_pool_cap":        "capacity of the pipeline's buffer pool",
+	"fg_stage_rounds_total":       "buffers accepted by the stage",
+	"fg_stage_work_seconds_total": "time spent inside the stage function",
+	"fg_stage_wait_seconds_total": "time the stage spent blocked waiting to accept",
+	"fg_stage_queue_len":          "buffers waiting in the stage's input queue",
+}
+
+// WritePrometheus writes the current samples in Prometheus text exposition
+// format (version 0.0.4), grouped by metric with HELP and TYPE headers.
+// Names ending in _total are typed counter, everything else gauge.
+func (r *MetricsRegistry) WritePrometheus(w io.Writer) error {
+	samples := r.Samples()
+	byName := map[string][]Sample{}
+	var names []string
+	for _, s := range samples {
+		if _, ok := byName[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		help := metricHelp[name]
+		if help == "" {
+			help = "collector-supplied metric"
+		}
+		typ := "gauge"
+		if strings.HasSuffix(name, "_total") {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
+			return err
+		}
+		group := byName[name]
+		sort.SliceStable(group, func(i, j int) bool {
+			return labelString(group[i].Labels) < labelString(group[j].Labels)
+		})
+		for _, s := range group {
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", name, labelString(s.Labels), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} with keys sorted, empty for no labels.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes exactly the characters the exposition format needs
+		// escaped in label values: backslash, double quote, and newline.
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ServeHTTP serves the Prometheus text format, making the registry a
+// drop-in http.Handler for a /metrics route.
+func (r *MetricsRegistry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// A MetricsServer is a running metrics HTTP endpoint; see
+// MetricsRegistry.Serve and Network.ServeMetrics.
+type MetricsServer struct {
+	registry *MetricsRegistry
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// Serve starts an HTTP server on addr (host:port; :0 picks a free port)
+// exposing the registry at /metrics (Prometheus text format) and the
+// process's expvar state at /debug/vars. It returns immediately; use
+// Addr for the bound address and Close to stop.
+func (r *MetricsRegistry) Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fg: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{registry: r, ln: ln, srv: srv}, nil
+}
+
+// Registry returns the registry the server exposes, for registering
+// further networks or collectors while serving.
+func (ms *MetricsServer) Registry() *MetricsRegistry { return ms.registry }
+
+// Addr returns the server's bound address.
+func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
+
+// Close stops the server.
+func (ms *MetricsServer) Close() error { return ms.srv.Close() }
+
+// ServeMetrics starts a metrics endpoint for this network: a fresh registry
+// with the network registered, served on addr. It is the one-network
+// convenience; programs with several networks (or cluster collectors)
+// build a MetricsRegistry themselves. May be called before or during Run.
+func (nw *Network) ServeMetrics(addr string) (*MetricsServer, error) {
+	r := NewMetricsRegistry()
+	r.RegisterNetwork(nw)
+	return r.Serve(addr)
+}

@@ -3,7 +3,10 @@ package fg
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // A Network is a set of pipelines that are launched and complete together:
@@ -27,7 +30,21 @@ type Network struct {
 	completion sync.WaitGroup // one Done per pipeline, by the sinks
 
 	tracer *Tracer
+
+	// Wall-clock run state, readable mid-run by Stats. runStart is written
+	// before runState stores runStateRunning and runNanos before it stores
+	// runStateDone, so a reader that observes the state also observes the
+	// matching time (atomic store/load give the happens-before edge).
+	runStart time.Time
+	runNanos atomic.Int64
+	runState atomic.Int32
 }
+
+const (
+	runStateIdle int32 = iota
+	runStateRunning
+	runStateDone
+)
 
 // NewNetwork creates an empty network.
 func NewNetwork(name string) *Network {
@@ -168,6 +185,12 @@ func (nw *Network) RunContext(ctx context.Context) error {
 	// From here on goroutines launch; build errors above return with none.
 	// The context watcher turns cancellation into a network failure and is
 	// itself released by shutdown, so it cannot outlive Run.
+	nw.runStart = time.Now()
+	nw.runState.Store(runStateRunning)
+	defer func() {
+		nw.runNanos.Store(int64(time.Since(nw.runStart)))
+		nw.runState.Store(runStateDone)
+	}()
 	if ctx.Done() != nil {
 		nw.wg.Add(1)
 		go func() {
@@ -185,8 +208,8 @@ func (nw *Network) RunContext(ctx context.Context) error {
 	for _, g := range nw.groups {
 		forkRTs := forkRTsOf[g]
 		nw.wg.Add(2)
-		go g.runSource()
-		go g.runSink()
+		go nw.labeled(g.name, "source", g.runSource)
+		go nw.labeled(g.name, "sink", g.runSink)
 		rtOf := map[*Fork]*forkRuntime{}
 		for _, rt := range forkRTs {
 			rtOf[rt.f] = rt
@@ -199,21 +222,23 @@ func (nw *Network) RunContext(ctx context.Context) error {
 			case s.fork != nil:
 				rt := rtOf[s.fork]
 				nw.wg.Add(1)
-				go runFork(nw, g, rt)
+				go nw.labeled(g.name, s.name, func() { runFork(nw, g, rt) })
 				for bi, chain := range s.fork.branches {
 					for j := range chain {
+						bs := chain[j]
 						nw.wg.Add(1)
-						go runBranchStage(nw, g, rt, bi, j)
+						go nw.labeled(g.name, bs.name, func() { runBranchStage(nw, g, rt, bi, j) })
 					}
 				}
 			case s.join != nil:
+				rt := rtOf[s.join]
 				nw.wg.Add(1)
-				go runJoin(nw, g, rtOf[s.join])
+				go nw.labeled(g.name, s.name, func() { runJoin(nw, g, rt) })
 			case s.replicas > 1:
 				runReplicated(nw, g, pos) // adds its workers to the WaitGroup itself
 			default:
 				nw.wg.Add(1)
-				go runSlot(nw, g, pos)
+				go nw.labeled(g.name, s.name, func() { runSlot(nw, g, pos) })
 			}
 		}
 	}
@@ -224,7 +249,7 @@ func (nw *Network) RunContext(ctx context.Context) error {
 				if s.isFree() && !launched[s] {
 					launched[s] = true
 					nw.wg.Add(1)
-					go runFree(nw, s)
+					go nw.labeled(s.primary().name, s.name, func() { runFree(nw, s) })
 				}
 			}
 		}
@@ -242,4 +267,15 @@ func (nw *Network) RunContext(ctx context.Context) error {
 	nw.shutdown()
 	nw.wg.Wait()
 	return nw.Err()
+}
+
+// labeled runs fn on the current goroutine under pprof labels naming the
+// network, pipeline (or group), and stage, so CPU profiles attribute
+// samples to stage=...,pipeline=... instead of an undifferentiated pile of
+// runSlot frames. The labels ride the goroutine for its lifetime; stage
+// functions inherit them.
+func (nw *Network) labeled(pipeline, stage string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"network", nw.name, "pipeline", pipeline, "stage", stage,
+	), func(context.Context) { fn() })
 }

@@ -1,0 +1,46 @@
+package fg
+
+// An Observe bundles the observability hooks a program hands to code that
+// builds networks on its behalf — the sorting programs' configs and the
+// experiment harness each carry one. The zero value (and a nil pointer)
+// observes nothing and costs nothing; set only the pieces wanted. One
+// Observe is typically shared by every network of a run, so the passes
+// land on one trace timeline and one metrics registry.
+type Observe struct {
+	// Tracer, if set, is attached to each network before Run.
+	Tracer *Tracer
+	// Metrics, if set, has each network registered before Run, so a scrape
+	// of the registry mid-run sees the network's live counters.
+	Metrics *MetricsRegistry
+	// OnStats, if set, receives each network's final snapshot right after
+	// its Run returns. Programs that run several networks concurrently (one
+	// per simulated cluster node) call it concurrently; the callback must
+	// be safe for that.
+	OnStats func(NetworkStats)
+}
+
+// Attach wires the bundle into nw: the tracer is attached and the network
+// registered with the metrics registry, both before Run. The returned
+// finish function is to be called (typically deferred) once Run has
+// returned; it delivers the final snapshot to OnStats. Attach on a nil
+// Observe is a no-op, and the finish function is never nil:
+//
+//	finish := cfg.Observe.Attach(nw)
+//	defer finish()
+//	err := nw.Run()
+func (o *Observe) Attach(nw *Network) func() {
+	if o == nil {
+		return func() {}
+	}
+	if o.Tracer != nil {
+		nw.SetTracer(o.Tracer)
+	}
+	if o.Metrics != nil {
+		o.Metrics.RegisterNetwork(nw)
+	}
+	fn := o.OnStats
+	if fn == nil {
+		return func() {}
+	}
+	return func() { fn(nw.Stats()) }
+}

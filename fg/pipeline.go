@@ -174,6 +174,11 @@ type group struct {
 	queues []*queue     // queues[i] feeds stage i; queues[len(stages)] feeds the sink
 	pool   chan *Buffer // recycled buffers, all members mixed
 	wake   chan struct{}
+
+	// built is stored true once queues and pool exist, so a concurrent
+	// Stats snapshot knows it may read their occupancy (the atomic store
+	// publishes the preceding writes).
+	built atomic.Bool
 }
 
 // newGroup creates an empty group. The wake channel exists from birth so
@@ -254,6 +259,7 @@ func (g *group) build() error {
 			}
 		}
 	}
+	g.built.Store(true)
 	return nil
 }
 

@@ -85,7 +85,7 @@ func runReplicated(nw *Network, g *group, pos int) {
 	n := s.replicas
 	for w := 0; w < n; w++ {
 		nw.wg.Add(1)
-		go func() {
+		go nw.labeled(g.name, s.name, func() {
 			defer nw.wg.Done()
 			defer nw.recoverPanic(s.name)
 			for {
@@ -95,6 +95,11 @@ func runReplicated(nw *Network, g *group, pos int) {
 					return
 				}
 				s.stats.acceptWait.Add(int64(time.Since(start)))
+				round := -1
+				if !b.caboose {
+					round = b.Round
+				}
+				nw.traceWait(s, b.pipe, round, start)
 				if b.caboose {
 					if int(seen.Add(1)) < n {
 						_ = in.push(b, nw.done) // pass it to a sibling
@@ -116,6 +121,6 @@ func runReplicated(nw *Network, g *group, pos int) {
 					return
 				}
 			}
-		}()
+		})
 	}
 }

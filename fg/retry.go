@@ -86,11 +86,13 @@ func Retry(fn RoundFunc, p RetryPolicy) RoundFunc {
 	return func(ctx *Ctx, b *Buffer) error {
 		delay := p.BaseDelay
 		for attempt := 1; ; attempt++ {
+			t0 := time.Now()
 			err := p.attempt(ctx, fn, b)
 			if err == nil || IsPermanent(err) {
 				return err
 			}
 			if attempt >= p.MaxAttempts {
+				ctx.nw.traceRetry(ctx.stage, b.pipe, b.Round, t0)
 				return fmt.Errorf("fg: retry: %d attempts failed, last: %w", attempt, err)
 			}
 			t := time.NewTimer(jittered(delay))
@@ -100,6 +102,8 @@ func Retry(fn RoundFunc, p RetryPolicy) RoundFunc {
 				t.Stop()
 				return err // network is shutting down; stop retrying
 			}
+			// One retry event spans the failed attempt and its backoff.
+			ctx.nw.traceRetry(ctx.stage, b.pipe, b.Round, t0)
 			delay *= 2
 			if p.MaxDelay > 0 && delay > p.MaxDelay {
 				delay = p.MaxDelay

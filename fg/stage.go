@@ -163,8 +163,14 @@ func (c *Ctx) AcceptFrom(p *Pipeline) (*Buffer, bool) {
 		b, err := in.pop(c.nw.done)
 		c.stage.stats.acceptWait.Add(int64(time.Since(start)))
 		if err != nil {
+			c.nw.traceWait(c.stage, p, -1, start)
 			return nil, false
 		}
+		round := -1
+		if !b.caboose {
+			round = b.Round
+		}
+		c.nw.traceWait(c.stage, p, round, start)
 		if b.caboose {
 			c.eof[b.pipe] = true
 			c.forwardCaboose(b.pipe, b)
@@ -271,7 +277,11 @@ func runSlot(nw *Network, g *group, pos int) {
 		s := b.pipe.stages[pos]
 		current = s.name
 		s.stats.acceptWait.Add(int64(wait))
-		nw.traceWait(s, b.pipe, start)
+		round := -1
+		if !b.caboose {
+			round = b.Round
+		}
+		nw.traceWait(s, b.pipe, round, start)
 		if b.caboose {
 			remaining--
 			_ = out.push(b, nw.done)

@@ -21,6 +21,11 @@ type StageStats struct {
 	Rounds     int64  // buffers accepted
 	AcceptWait time.Duration
 	Work       time.Duration
+	// QueueLen is the instantaneous occupancy of the stage's input queue at
+	// snapshot time — buffers waiting to be accepted. A persistently full
+	// queue in front of a stage marks it as the bottleneck; a persistently
+	// empty one means the stage is starved. Zero before the network starts.
+	QueueLen int
 }
 
 // PipelineStats reports one pipeline's configuration and progress.
@@ -30,35 +35,68 @@ type PipelineStats struct {
 	Buffers     int
 	BufferBytes int
 	Rounds      int64 // rounds emitted by the source so far
+	// PoolIdle is the instantaneous number of recycled buffers sitting idle
+	// in the pool at snapshot time, and PoolCap the pool's capacity. A pool
+	// that is never idle means every buffer is in flight — the pipeline is
+	// using all the concurrency its pool allows. Members of a virtual group
+	// share one pool and report the same numbers. Zero before the network
+	// starts.
+	PoolIdle int
+	PoolCap  int
 }
 
-// NetworkStats is a snapshot of a network's activity, taken at any time
-// (typically after Run returns).
+// NetworkStats is a snapshot of a network's activity. It may be taken at
+// any time: before Run (configuration only), during Run (live counters,
+// safe to call concurrently from another goroutine), or after (final
+// totals).
 type NetworkStats struct {
 	Name      string
 	Pipelines []PipelineStats
 	Stages    []StageStats
+	// Running reports whether the snapshot was taken while Run was in
+	// flight. Wall is the elapsed run time so far (Running) or the final
+	// run duration (after Run returns); zero before Run starts.
+	Running bool
+	Wall    time.Duration
 }
 
-// Stats snapshots the network's per-pipeline and per-stage statistics.
+// Stats snapshots the network's per-pipeline and per-stage statistics. It
+// is safe to call from any goroutine at any time, including while Run is in
+// flight: all counters are maintained atomically and queue/pool occupancy
+// reads are instantaneous channel lengths.
 func (nw *Network) Stats() NetworkStats {
 	st := NetworkStats{Name: nw.name}
+	switch nw.runState.Load() {
+	case runStateRunning:
+		st.Running = true
+		st.Wall = time.Since(nw.runStart)
+	case runStateDone:
+		st.Wall = time.Duration(nw.runNanos.Load())
+	}
 	seen := map[*Stage]bool{}
 	for _, g := range nw.groups {
+		// built is stored after the group's queues and pool are allocated,
+		// so observing it true makes them safe to read here.
+		built := g.built.Load()
 		for _, p := range g.pipes {
-			st.Pipelines = append(st.Pipelines, PipelineStats{
+			ps := PipelineStats{
 				Name:        p.name,
 				Virtual:     g.virtual,
 				Buffers:     p.nBuffers,
 				BufferBytes: p.bufBytes,
 				Rounds:      p.emitted.Load(),
-			})
-			for _, s := range p.stages {
+			}
+			if built {
+				ps.PoolIdle = len(g.pool)
+				ps.PoolCap = cap(g.pool)
+			}
+			st.Pipelines = append(st.Pipelines, ps)
+			for pos, s := range p.stages {
 				if seen[s] {
 					continue
 				}
 				seen[s] = true
-				st.Stages = append(st.Stages, StageStats{
+				ss := StageStats{
 					Stage:      s.name,
 					Pipeline:   s.primary().name,
 					Shared:     len(s.slots) > 1,
@@ -66,24 +104,98 @@ func (nw *Network) Stats() NetworkStats {
 					Rounds:     s.stats.rounds.Load(),
 					AcceptWait: time.Duration(s.stats.acceptWait.Load()),
 					Work:       time.Duration(s.stats.work.Load()),
-				})
+				}
+				if built {
+					ss.QueueLen = len(g.queues[pos].ch)
+				}
+				st.Stages = append(st.Stages, ss)
 			}
 		}
 	}
 	return st
 }
 
+// A BottleneckReport names the stage that governs a network's wall time and
+// quantifies how well the network overlapped its stages.
+type BottleneckReport struct {
+	Stage    string // the stage with the most work time
+	Pipeline string
+	Work     time.Duration // that stage's total work
+	// Utilization is Work/Wall: the fraction of the run the governing stage
+	// was busy. Near 1 means the run is as fast as that stage allows and
+	// speeding anything else up is pointless. It can exceed 1 for
+	// replicated stages, whose workers accumulate work in parallel.
+	Utilization float64
+	SumWork     time.Duration // work summed over every stage
+	Wall        time.Duration
+	// Overlap locates the wall time between the two limits the paper's
+	// analysis uses: 1 when wall ≈ max single stage (perfect overlap, the
+	// pipeline hid everything else behind the bottleneck) and 0 when wall ≈
+	// sum of stages (no overlap, the stages ran end to end). Zero when the
+	// network has fewer than two working stages.
+	Overlap float64
+}
+
+// Bottleneck analyzes the snapshot and names the governing stage. Call it
+// on the Stats of a finished run (a mid-run snapshot reports the
+// bottleneck so far).
+func (s NetworkStats) Bottleneck() BottleneckReport {
+	r := BottleneckReport{Wall: s.Wall}
+	var maxWork time.Duration
+	for _, st := range s.Stages {
+		r.SumWork += st.Work
+		if st.Work > maxWork {
+			maxWork = st.Work
+			r.Stage = st.Stage
+			r.Pipeline = st.Pipeline
+			r.Work = st.Work
+		}
+	}
+	if s.Wall > 0 {
+		r.Utilization = float64(r.Work) / float64(s.Wall)
+	}
+	if den := r.SumWork - r.Work; den > 0 && s.Wall > 0 {
+		r.Overlap = float64(r.SumWork-s.Wall) / float64(den)
+		if r.Overlap < 0 {
+			r.Overlap = 0
+		}
+		if r.Overlap > 1 {
+			r.Overlap = 1
+		}
+	}
+	return r
+}
+
+// String renders the report as one log line.
+func (r BottleneckReport) String() string {
+	if r.Stage == "" {
+		return "bottleneck: (no stage work recorded)"
+	}
+	return fmt.Sprintf(
+		"bottleneck: stage %q on %q work=%v util=%.0f%% overlap=%.2f (wall %v vs %v summed)",
+		r.Stage, r.Pipeline, r.Work.Round(time.Millisecond), 100*r.Utilization,
+		r.Overlap, r.Wall.Round(time.Millisecond), r.SumWork.Round(time.Millisecond))
+}
+
 // String renders the statistics as an aligned table for logs and demos.
 func (s NetworkStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "network %q\n", s.Name)
+	fmt.Fprintf(&b, "network %q", s.Name)
+	if s.Wall > 0 {
+		state := "finished in"
+		if s.Running {
+			state = "running for"
+		}
+		fmt.Fprintf(&b, " (%s %v)", state, s.Wall.Round(time.Millisecond))
+	}
+	b.WriteString("\n")
 	for _, p := range s.Pipelines {
 		kind := "pipeline"
 		if p.Virtual {
 			kind = "virtual pipeline"
 		}
-		fmt.Fprintf(&b, "  %-16s %-24s %3d buffers x %8d B, %6d rounds\n",
-			kind, p.Name, p.Buffers, p.BufferBytes, p.Rounds)
+		fmt.Fprintf(&b, "  %-16s %-24s %3d buffers x %8d B, %6d rounds, pool %d/%d idle\n",
+			kind, p.Name, p.Buffers, p.BufferBytes, p.Rounds, p.PoolIdle, p.PoolCap)
 	}
 	stages := append([]StageStats(nil), s.Stages...)
 	sort.SliceStable(stages, func(i, j int) bool { return stages[i].Pipeline < stages[j].Pipeline })
@@ -95,9 +207,9 @@ func (s NetworkStats) String() string {
 		if st.Virtual {
 			flags += " [virtual]"
 		}
-		fmt.Fprintf(&b, "  stage %-20s on %-20s rounds=%6d wait=%-12v work=%-12v%s\n",
+		fmt.Fprintf(&b, "  stage %-20s on %-20s rounds=%6d wait=%-12v work=%-12v queue=%d%s\n",
 			st.Stage, st.Pipeline, st.Rounds, st.AcceptWait.Round(time.Microsecond),
-			st.Work.Round(time.Microsecond), flags)
+			st.Work.Round(time.Microsecond), st.QueueLen, flags)
 	}
 	return b.String()
 }

@@ -1,10 +1,13 @@
 package fg
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,19 +15,27 @@ import (
 // when it was working on a buffer and when it was waiting for one. The
 // resulting timeline makes FG's latency hiding visible: a well-overlapped
 // network shows the stages' work intervals interleaved in time rather than
-// stacked end to end. cmd/fgdemo renders traces as an ASCII Gantt chart.
+// stacked end to end. cmd/fgdemo renders traces as an ASCII Gantt chart;
+// WriteChromeTrace exports the same timeline as Chrome trace-event JSON for
+// chrome://tracing and Perfetto.
 
 // An Event records one stage activity interval.
 type Event struct {
 	Stage    string
 	Pipeline string
 	Kind     EventKind
-	Round    int
-	Start    time.Duration // since the network's trace epoch
-	End      time.Duration
+	// Round is the round of the buffer involved: the buffer worked on, the
+	// buffer whose arrival ended a wait, or the buffer a retried attempt
+	// held. -1 when no buffer is attached (end-of-stream waits, comm events
+	// recorded from outside the network).
+	Round int
+	// Bytes is the payload size for comm events; 0 otherwise.
+	Bytes int64
+	Start time.Duration // since the tracer's epoch
+	End   time.Duration
 }
 
-// EventKind distinguishes working intervals from waiting intervals.
+// EventKind distinguishes the activities a tracer records.
 type EventKind int
 
 const (
@@ -32,27 +43,43 @@ const (
 	EventWork EventKind = iota
 	// EventWait covers a blocked accept.
 	EventWait
+	// EventRetry covers one failed attempt of a Retry-wrapped stage,
+	// including the backoff that follows it.
+	EventRetry
+	// EventComm covers one communication operation (a cluster send or
+	// receive), recorded through Record by code outside the network.
+	EventComm
 )
 
 func (k EventKind) String() string {
-	if k == EventWork {
+	switch k {
+	case EventWork:
 		return "work"
+	case EventWait:
+		return "wait"
+	case EventRetry:
+		return "retry"
+	case EventComm:
+		return "comm"
 	}
-	return "wait"
+	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
-// A Tracer collects events from one network run. The zero value is unused;
-// create with NewTracer and attach with Network.SetTracer before Run.
+// A Tracer collects events from one or more network runs (dsort attaches
+// one tracer to every pass's network, so the passes share a timeline). The
+// zero value is unused; create with NewTracer and attach with
+// Network.SetTracer before Run.
 type Tracer struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	epoch   time.Time
+	events  []Event
+	limit   int
+	dropped atomic.Int64
 }
 
 // NewTracer creates a tracer retaining at most limit events (0 means a
-// generous default). Events past the limit are dropped, keeping tracing
-// safe for long runs.
+// generous default). Events past the limit are dropped — counted by
+// Dropped — keeping tracing safe for long runs.
 func NewTracer(limit int) *Tracer {
 	if limit <= 0 {
 		limit = 1 << 16
@@ -60,13 +87,30 @@ func NewTracer(limit int) *Tracer {
 	return &Tracer{epoch: time.Now(), limit: limit}
 }
 
-// record appends an event unless the tracer is full.
-func (tr *Tracer) record(e Event) {
+// Record adds an event. The framework calls it for work, wait, and retry
+// intervals; external recorders (the cluster's communication observer, say)
+// may call it directly with intervals converted through Span. Events past
+// the tracer's limit are dropped and counted.
+func (tr *Tracer) Record(e Event) {
 	tr.mu.Lock()
 	if len(tr.events) < tr.limit {
 		tr.events = append(tr.events, e)
+		tr.mu.Unlock()
+		return
 	}
 	tr.mu.Unlock()
+	tr.dropped.Add(1)
+}
+
+// Dropped returns how many events were discarded because the tracer was
+// full. A non-zero count means the timeline is truncated; raise the limit
+// passed to NewTracer to capture the whole run.
+func (tr *Tracer) Dropped() int64 { return tr.dropped.Load() }
+
+// Span converts a wall-clock interval into the tracer's epoch-relative
+// form, for building Events outside the framework.
+func (tr *Tracer) Span(start, end time.Time) (s, e time.Duration) {
+	return start.Sub(tr.epoch), end.Sub(tr.epoch)
 }
 
 // Events returns the recorded events in chronological start order.
@@ -79,7 +123,9 @@ func (tr *Tracer) Events() []Event {
 }
 
 // SetTracer attaches a tracer to the network; every round stage's work and
-// wait intervals are recorded. Attach before Run.
+// wait intervals are recorded, as are free stages' accept waits and retried
+// attempts of Retry-wrapped stages. Attach before Run. Several networks may
+// share one tracer.
 func (nw *Network) SetTracer(tr *Tracer) {
 	nw.mustNotBeStarted()
 	nw.tracer = tr
@@ -91,7 +137,7 @@ func (nw *Network) traceWork(s *Stage, p *Pipeline, round int, start time.Time) 
 		return
 	}
 	now := time.Now()
-	nw.tracer.record(Event{
+	nw.tracer.Record(Event{
 		Stage:    s.name,
 		Pipeline: p.name,
 		Kind:     EventWork,
@@ -102,8 +148,10 @@ func (nw *Network) traceWork(s *Stage, p *Pipeline, round int, start time.Time) 
 }
 
 // traceWait records a wait interval if tracing is on and it is long enough
-// to matter (sub-10us waits are queue handoffs, not stalls).
-func (nw *Network) traceWait(s *Stage, p *Pipeline, start time.Time) {
+// to matter (sub-10us waits are queue handoffs, not stalls). round is the
+// round of the buffer whose arrival ended the wait, or -1 when the wait
+// ended in end-of-stream or shutdown.
+func (nw *Network) traceWait(s *Stage, p *Pipeline, round int, start time.Time) {
 	if nw.tracer == nil {
 		return
 	}
@@ -111,18 +159,35 @@ func (nw *Network) traceWait(s *Stage, p *Pipeline, start time.Time) {
 	if now.Sub(start) < 10*time.Microsecond {
 		return
 	}
-	nw.tracer.record(Event{
+	nw.tracer.Record(Event{
 		Stage:    s.name,
 		Pipeline: p.name,
 		Kind:     EventWait,
+		Round:    round,
+		Start:    start.Sub(nw.tracer.epoch),
+		End:      now.Sub(nw.tracer.epoch),
+	})
+}
+
+// traceRetry records one failed attempt of a Retry-wrapped stage.
+func (nw *Network) traceRetry(s *Stage, p *Pipeline, round int, start time.Time) {
+	if nw.tracer == nil {
+		return
+	}
+	now := time.Now()
+	nw.tracer.Record(Event{
+		Stage:    s.name,
+		Pipeline: p.name,
+		Kind:     EventRetry,
+		Round:    round,
 		Start:    start.Sub(nw.tracer.epoch),
 		End:      now.Sub(nw.tracer.epoch),
 	})
 }
 
 // Gantt renders the trace as an ASCII chart: one row per stage, time
-// flowing right, '#' for work and '.' for waiting. width is the chart width
-// in characters.
+// flowing right, '#' for work, '.' for waiting, 'r' for retried attempts,
+// and '~' for communication. width is the chart width in characters.
 func (tr *Tracer) Gantt(width int) string {
 	events := tr.Events()
 	if len(events) == 0 {
@@ -148,7 +213,11 @@ func (tr *Tracer) Gantt(width int) string {
 		maxEnd = 1
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace: %v total, %d events ('#'=work, '.'=wait)\n", maxEnd.Round(time.Millisecond), len(events))
+	fmt.Fprintf(&b, "trace: %v total, %d events", maxEnd.Round(time.Millisecond), len(events))
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(&b, " (%d dropped: timeline truncated)", d)
+	}
+	fmt.Fprintf(&b, " ('#'=work, '.'=wait, 'r'=retry, '~'=comm)\n")
 	for _, key := range order {
 		line := make([]byte, width)
 		for i := range line {
@@ -157,12 +226,22 @@ func (tr *Tracer) Gantt(width int) string {
 		for _, e := range rows[key] {
 			from := int(int64(e.Start) * int64(width) / int64(maxEnd))
 			to := int(int64(e.End) * int64(width) / int64(maxEnd))
+			if from < 0 {
+				from = 0
+			}
 			if to >= width {
 				to = width - 1
 			}
-			mark := byte('#')
-			if e.Kind == EventWait {
+			var mark byte
+			switch e.Kind {
+			case EventWork:
+				mark = '#'
+			case EventWait:
 				mark = '.'
+			case EventRetry:
+				mark = 'r'
+			default:
+				mark = '~'
 			}
 			for i := from; i <= to; i++ {
 				if mark == '#' || line[i] == ' ' {
@@ -173,4 +252,74 @@ func (tr *Tracer) Gantt(width int) string {
 		fmt.Fprintf(&b, "%-28s |%s|\n", key, line)
 	}
 	return b.String()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format. The fields and
+// their one-letter names are fixed by the format: ph "X" is a complete
+// event with a ts/dur pair in microseconds, ph "M" is metadata (used to
+// name the rows).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container variant of the format, which
+// both chrome://tracing and Perfetto load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto. Each pipeline/stage row becomes
+// one named thread; work, wait, retry, and comm intervals become complete
+// ("X") events categorized by kind, carrying the round (and byte count for
+// comm) in their args. Events are emitted in chronological start order with
+// timestamps in microseconds since the tracer's epoch.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	const pid = 1
+	tidOf := map[string]int{}
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	out.TraceEvents = []chromeEvent{}
+	for _, e := range events {
+		key := e.Pipeline + "/" + e.Stage
+		tid, ok := tidOf[key]
+		if !ok {
+			tid = len(tidOf)
+			tidOf[key] = tid
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  pid,
+				Tid:  tid,
+				Args: map[string]any{"name": key},
+			})
+		}
+	}
+	for _, e := range events {
+		args := map[string]any{"round": e.Round, "pipeline": e.Pipeline}
+		if e.Bytes > 0 {
+			args["bytes"] = e.Bytes
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Stage,
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(e.Start) / float64(time.Microsecond),
+			Dur:  float64(e.End-e.Start) / float64(time.Microsecond),
+			Pid:  pid,
+			Tid:  tidOf[e.Pipeline+"/"+e.Stage],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }

@@ -1,6 +1,9 @@
 package fg
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -60,6 +63,80 @@ func TestTracerLimit(t *testing.T) {
 	}
 }
 
+func TestTracerDroppedCount(t *testing.T) {
+	tr := NewTracer(5)
+	nw := NewNetwork("dropped")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(1), Rounds(50))
+	p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("50 rounds against a 5-event limit dropped nothing")
+	}
+	if chart := tr.Gantt(40); !strings.Contains(chart, "dropped") {
+		t.Errorf("Gantt header does not surface the dropped count:\n%s", chart)
+	}
+}
+
+func TestWaitEventsCarryRound(t *testing.T) {
+	tr := NewTracer(0)
+	nw := NewNetwork("rounds")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(1), Rounds(4))
+	p.AddStage("slow", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	p.AddStage("fast", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	withRound := 0
+	for _, e := range tr.Events() {
+		if e.Kind == EventWait && e.Round >= 0 {
+			withRound++
+		}
+	}
+	// The fast stage waits out each of the slow stage's 2ms rounds; those
+	// waits end with a data buffer whose round must be recorded.
+	if withRound == 0 {
+		t.Fatal("no wait event carries the round of the buffer that ended it")
+	}
+}
+
+func TestRetryEventsTraced(t *testing.T) {
+	tr := NewTracer(0)
+	nw := NewNetwork("retries")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(1), Rounds(3))
+	fails := map[int]bool{}
+	flaky := func(ctx *Ctx, b *Buffer) error {
+		if !fails[b.Round] {
+			fails[b.Round] = true
+			return errors.New("transient")
+		}
+		return nil
+	}
+	p.AddStage("flaky", Retry(flaky, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}))
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	retries := 0
+	for _, e := range tr.Events() {
+		if e.Kind == EventRetry {
+			retries++
+			if e.Stage != "flaky" || e.Round < 0 {
+				t.Errorf("retry event misattributed: %+v", e)
+			}
+		}
+	}
+	if retries != 3 { // one failed first attempt per round
+		t.Errorf("recorded %d retry events, want 3", retries)
+	}
+}
+
 func TestGanttRendering(t *testing.T) {
 	tr := NewTracer(0)
 	nw := NewNetwork("gantt")
@@ -85,6 +162,96 @@ func TestGanttEmpty(t *testing.T) {
 	tr := NewTracer(0)
 	if got := tr.Gantt(40); !strings.Contains(got, "no events") {
 		t.Errorf("empty trace rendered %q", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	nw := NewNetwork("chrome")
+	nw.SetTracer(tr)
+	p := nw.AddPipeline("main", Buffers(2), Rounds(4))
+	p.AddStage("slow", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	p.AddStage("fast", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// An externally recorded comm event must round-trip with its byte count.
+	s, e := tr.Span(time.Now().Add(-time.Millisecond), time.Now())
+	tr.Record(Event{Stage: "comm.send", Pipeline: "node0", Kind: EventComm, Round: -1, Bytes: 4096, Start: s, End: e})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	cats := map[string]bool{}
+	lastTs := -1.0
+	xEvents := 0
+	for _, ev := range decoded.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event %q, want thread_name", ev.Name)
+			}
+			if n, ok := ev.Args["name"].(string); ok {
+				names[n] = true
+			}
+		case "X":
+			xEvents++
+			cats[ev.Cat] = true
+			if ev.Ts < lastTs {
+				t.Fatalf("X events not in monotonic ts order: %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Dur < 0 {
+				t.Errorf("negative duration on %q", ev.Name)
+			}
+			if _, ok := ev.Args["round"]; !ok {
+				t.Errorf("X event %q missing round arg", ev.Name)
+			}
+			if ev.Name == "comm.send" {
+				if b, _ := ev.Args["bytes"].(float64); b != 4096 {
+					t.Errorf("comm event bytes = %v, want 4096", ev.Args["bytes"])
+				}
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"main/slow", "main/fast", "node0/comm.send"} {
+		if !names[want] {
+			t.Errorf("trace missing thread row %q (have %v)", want, names)
+		}
+	}
+	for _, want := range []string{"work", "comm"} {
+		if !cats[want] {
+			t.Errorf("trace missing %q category (have %v)", want, cats)
+		}
+	}
+	if xEvents < 8 { // 4 rounds x 2 stages work events at minimum
+		t.Errorf("only %d X events recorded", xEvents)
 	}
 }
 

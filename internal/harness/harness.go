@@ -13,6 +13,7 @@ import (
 	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/colsort"
 	"github.com/fg-go/fg/dsort"
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/internal/check"
 	"github.com/fg-go/fg/internal/splitter"
 	"github.com/fg-go/fg/oocsort"
@@ -39,6 +40,53 @@ type Params struct {
 	// The serial-vs-parallel end-to-end benchmarks flip this and nothing
 	// else.
 	Parallelism int
+
+	// Observe, if non-nil, is handed to every program's config, so all of a
+	// run's networks share one trace timeline and metrics registry. When it
+	// carries a Tracer, the harness additionally records every node's
+	// blocking cluster communication as comm events on that timeline, and
+	// when it carries a Metrics registry, the cluster's per-node traffic
+	// counters are registered with it.
+	Observe *fg.Observe
+}
+
+// instrument wires the Observe bundle into a freshly built cluster. The
+// returned detach function removes the per-node communication observers;
+// call it when the run is over so a long-lived tracer is not fed by a dead
+// cluster.
+func (pr Params) instrument(c *cluster.Cluster) func() {
+	o := pr.Observe
+	if o == nil {
+		return func() {}
+	}
+	if o.Metrics != nil {
+		o.Metrics.RegisterFunc(func(emit fg.EmitFunc) { c.EmitMetrics(emit) })
+	}
+	tr := o.Tracer
+	if tr == nil {
+		return func() {}
+	}
+	for i := 0; i < c.P(); i++ {
+		n := c.Node(i)
+		pipe := fmt.Sprintf("node%d", i)
+		n.SetCommObserver(func(op string, peer, nbytes int, start, end time.Time) {
+			s, e := tr.Span(start, end)
+			tr.Record(fg.Event{
+				Stage:    "comm." + op,
+				Pipeline: pipe,
+				Kind:     fg.EventComm,
+				Round:    -1,
+				Bytes:    int64(nbytes),
+				Start:    s,
+				End:      e,
+			})
+		})
+	}
+	return func() {
+		for i := 0; i < c.P(); i++ {
+			c.Node(i).SetCommObserver(nil)
+		}
+	}
 }
 
 // DefaultParams mirrors the paper's machine at laptop scale: 16 nodes and
@@ -126,6 +174,8 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 	}
 	oocsort.CollectDiskStats(c)
 	oocsort.CollectCommStats(c)
+	detach := pr.instrument(c)
+	defer detach()
 
 	results := make([]oocsort.Result, pr.Nodes)
 	err = c.Run(func(n *cluster.Node) error {
@@ -135,6 +185,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 		case Dsort:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
 			cfg.Parallelism = pr.Parallelism
+			cfg.Observe = pr.Observe
 			if buffers > 0 {
 				cfg.Buffers = buffers
 			}
@@ -142,6 +193,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 		case DsortLinear:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
 			cfg.Parallelism = pr.Parallelism
+			cfg.Observe = pr.Observe
 			if buffers > 0 {
 				cfg.Buffers = buffers
 			}
@@ -152,6 +204,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 				return perr
 			}
 			pl.Parallelism = pr.Parallelism
+			pl.Observe = pr.Observe
 			b := colsort.DefaultPipelineBuffers
 			if buffers > 0 {
 				b = buffers
@@ -355,8 +408,11 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 	}
 	oocsort.CollectDiskStats(c)
 	oocsort.CollectCommStats(c)
+	detach := pr.instrument(c)
+	defer detach()
 	cfg := dsort.DefaultConfig(spec, pr.Nodes)
 	cfg.Parallelism = pr.Parallelism
+	cfg.Observe = pr.Observe
 	mutate(&cfg)
 	results := make([]oocsort.Result, pr.Nodes)
 	err = c.Run(func(n *cluster.Node) error {

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/workload"
+)
+
+// decodeChromeTrace parses a Chrome trace-event JSON document and returns
+// the thread-row names and the per-kind X-event counts, failing the test on
+// malformed structure (the -trace-out acceptance criterion: valid JSON,
+// monotonic ts, all stages present).
+func decodeChromeTrace(t *testing.T, raw []byte) (rows map[string]bool, kinds map[string]int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	rows = map[string]bool{}
+	kinds = map[string]int{}
+	lastTs := -1.0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if n, ok := ev.Args["name"].(string); ok {
+				rows[n] = true
+			}
+		case "X":
+			if ev.Ts < lastTs {
+				t.Fatalf("X events out of ts order: %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Dur < 0 {
+				t.Fatalf("negative duration on %q", ev.Name)
+			}
+			kinds[ev.Cat]++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	return rows, kinds
+}
+
+// hasRow reports whether some thread row's name contains sub.
+func hasRow(rows map[string]bool, sub string) bool {
+	for r := range rows {
+		if strings.Contains(r, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDsortChromeTraceRoundTrip(t *testing.T) {
+	pr := tinyParams()
+	pr.Nodes = 2
+	pr.ColumnsPerNode = 1
+	tr := fg.NewTracer(1 << 20)
+	pr.Observe = &fg.Observe{Tracer: tr}
+	if _, err := pr.Run(Dsort, workload.Uniform, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, kinds := decodeChromeTrace(t, buf.Bytes())
+	// Every pass-1 and pass-2 round stage of node 0 must have a row, as
+	// must the comm timeline the harness records per node.
+	for _, stage := range []string{"read", "permute", "sort", "write", "merge", "node0/comm.send", "node0/comm.recv"} {
+		if !hasRow(rows, stage) {
+			t.Errorf("trace has no row for %q (rows: %v)", stage, rows)
+		}
+	}
+	if kinds["work"] == 0 || kinds["comm"] == 0 {
+		t.Errorf("trace lacks work or comm events: %v", kinds)
+	}
+	if tr.Dropped() > 0 {
+		t.Errorf("tracer dropped %d events at this tiny scale", tr.Dropped())
+	}
+}
+
+func TestCsortChromeTraceRoundTrip(t *testing.T) {
+	pr := tinyParams()
+	pr.Nodes = 2
+	pr.ColumnsPerNode = 1
+	tr := fg.NewTracer(1 << 20)
+	pr.Observe = &fg.Observe{Tracer: tr}
+	if _, err := pr.Run(Csort, workload.Uniform, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, kinds := decodeChromeTrace(t, buf.Bytes())
+	if len(rows) == 0 || kinds["work"] == 0 {
+		t.Fatalf("csort trace empty: rows=%v kinds=%v", rows, kinds)
+	}
+	if !hasRow(rows, "comm.") {
+		t.Errorf("csort trace has no comm rows: %v", rows)
+	}
+}
+
+// TestObserveMetricsAndStats exercises the other two Observe channels on a
+// real program: the registry scrapes cluster counters and OnStats sees one
+// snapshot per network.
+func TestObserveMetricsAndStats(t *testing.T) {
+	pr := tinyParams()
+	pr.Nodes = 2
+	pr.ColumnsPerNode = 1
+	reg := fg.NewMetricsRegistry()
+	var mu sync.Mutex
+	var finished []string
+	pr.Observe = &fg.Observe{
+		Metrics: reg,
+		OnStats: func(st fg.NetworkStats) {
+			mu.Lock()
+			finished = append(finished, st.Name)
+			mu.Unlock()
+			if st.Wall <= 0 {
+				t.Errorf("network %s finished with zero wall time", st.Name)
+			}
+		},
+	}
+	if _, err := pr.Run(Dsort, workload.Uniform, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Two nodes, two passes: four networks finished.
+	mu.Lock()
+	n := len(finished)
+	mu.Unlock()
+	if n != 4 {
+		t.Errorf("OnStats saw %d networks, want 4 (%v)", n, finished)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cluster_bytes_sent_total",
+		"cluster_send_wait_seconds_total",
+		"cluster_recv_wait_seconds_total",
+		"fg_stage_rounds_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry scrape missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/fg-go/fg/fg"
+)
+
+// ObserveCLI builds the fg.Observe bundle behind the commands' -metrics and
+// -trace-out flags. It returns the bundle (nil when both arguments are
+// empty, so an unobserved run costs nothing) and a finish function that
+// prints node 0's bottleneck reports, writes the Chrome trace file, and
+// stops the metrics server.
+//
+// metricsAddr, when non-empty, is a host:port to serve Prometheus metrics
+// and expvar on for the duration of the run (":0" picks a free port).
+// traceOut, when non-empty, is the path the Chrome trace-event JSON is
+// written to; load it in chrome://tracing or https://ui.perfetto.dev.
+func ObserveCLI(metricsAddr, traceOut string) (*fg.Observe, func() error, error) {
+	if metricsAddr == "" && traceOut == "" {
+		return nil, func() error { return nil }, nil
+	}
+	o := &fg.Observe{}
+	var mu sync.Mutex
+	var reports []string
+	o.OnStats = func(st fg.NetworkStats) {
+		// One report per network of node 0; barriers make it representative.
+		if !strings.HasSuffix(st.Name, "@0") {
+			return
+		}
+		mu.Lock()
+		reports = append(reports, fmt.Sprintf("%s: %s", st.Name, st.Bottleneck()))
+		mu.Unlock()
+	}
+	var server *fg.MetricsServer
+	if metricsAddr != "" {
+		o.Metrics = fg.NewMetricsRegistry()
+		var err error
+		server, err = o.Metrics.Serve(metricsAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("serving metrics on http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", server.Addr())
+	}
+	if traceOut != "" {
+		o.Tracer = fg.NewTracer(1 << 21)
+	}
+	finish := func() error {
+		mu.Lock()
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+		mu.Unlock()
+		if o.Tracer != nil {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := o.Tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d events", traceOut, len(o.Tracer.Events()))
+			if d := o.Tracer.Dropped(); d > 0 {
+				fmt.Printf(", %d dropped", d)
+			}
+			fmt.Println("); load it in chrome://tracing or https://ui.perfetto.dev")
+		}
+		if server != nil {
+			return server.Close()
+		}
+		return nil
+	}
+	return o, finish, nil
+}

@@ -185,6 +185,8 @@ func CollectCommStats(c *cluster.Cluster) cluster.CommStats {
 		total.MessagesRecvd += s.MessagesRecvd
 		total.BytesRecvd += s.BytesRecvd
 		total.SendBusy += s.SendBusy
+		total.SendWait += s.SendWait
+		total.RecvWait += s.RecvWait
 		n.ResetStats()
 	}
 	return total
