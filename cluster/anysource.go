@@ -10,9 +10,10 @@ import (
 // point of its unbalanced communication — so they pull from a per-tag
 // mailbox that merges all senders.
 
-// anyMessage is a payload with its source rank attached.
+// anyMessage is a payload with its source rank and transfer ID attached.
 type anyMessage struct {
 	src  int
+	xfer int64
 	data []byte
 }
 
@@ -46,6 +47,7 @@ func (n *Node) SendAny(dst int, tag int64, data []byte) {
 	n.checkFault("send", dst, len(data))
 	msg := make([]byte, len(data))
 	copy(msg, data)
+	xfer := n.cluster.transferSeq.Add(1)
 
 	start := time.Now()
 	if dst != n.rank {
@@ -56,13 +58,16 @@ func (n *Node) SendAny(dst int, tag int64, data []byte) {
 	n.stats.msgsSent.Add(1)
 	n.stats.bytesSent.Add(int64(len(data)))
 
+	n.stats.sendsBlocked.Add(1)
 	select {
-	case n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, data: msg}:
+	case n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, xfer: xfer, data: msg}:
 	case <-n.cluster.aborted:
+		n.stats.sendsBlocked.Add(-1)
 		n.abortPanic("send", dst)
 	}
+	n.stats.sendsBlocked.Add(-1)
 	n.stats.sendWait.Add(int64(time.Since(start)))
-	n.observe("send", dst, len(data), start)
+	n.observe("send", dst, len(data), xfer, start)
 }
 
 // RecvAny blocks until any node's SendAny for this tag arrives, returning
@@ -71,15 +76,18 @@ func (n *Node) RecvAny(tag int64) (src int, data []byte) {
 	n.checkFault("recv", -1, 0)
 	start := time.Now()
 	var msg anyMessage
+	n.stats.recvsBlocked.Add(1)
 	select {
 	case msg = <-n.anyMailbox(tag):
 	case <-n.cluster.aborted:
+		n.stats.recvsBlocked.Add(-1)
 		n.abortPanic("recv", -1)
 	}
+	n.stats.recvsBlocked.Add(-1)
 	n.stats.msgsRecvd.Add(1)
 	n.stats.bytesRecvd.Add(int64(len(msg.data)))
 	n.stats.recvWait.Add(int64(time.Since(start)))
-	n.observe("recv", -1, len(msg.data), start)
+	n.observe("recv", -1, len(msg.data), msg.xfer, start)
 	return msg.src, msg.data
 }
 

@@ -105,6 +105,12 @@ type Cluster struct {
 	cfg   Config
 	nodes []*Node
 
+	// transferSeq assigns cluster-wide monotonic transfer IDs: every Send
+	// or SendAny takes the next one, and the matching Recv observes the
+	// same ID, so traces recorded on different nodes can be correlated
+	// transfer by transfer (see fg.MergeChromeTraces).
+	transferSeq atomic.Int64
+
 	abortOnce sync.Once
 	aborted   chan struct{}
 }
@@ -124,7 +130,7 @@ func New(cfg Config) *Cluster {
 			rank:      i,
 			cluster:   c,
 			Disk:      pdm.NewDisk(cfg.Disk),
-			mailboxes: make(map[mailboxKey]chan []byte),
+			mailboxes: make(map[mailboxKey]chan message),
 		}
 	}
 	return c
@@ -221,6 +227,12 @@ type CommStats struct {
 	// hide.
 	SendWait time.Duration
 	RecvWait time.Duration
+	// SendsBlocked and RecvsBlocked are instantaneous gauges: how many of
+	// the node's goroutines are parked inside a Send (mailbox full) or a
+	// Recv (no message) right now. A stall watchdog reads them to tell a
+	// hung communication from a hung disk.
+	SendsBlocked int64
+	RecvsBlocked int64
 }
 
 // commCounters is the lock-free backing store for CommStats: the hot
@@ -234,16 +246,23 @@ type commCounters struct {
 	sendBusy   atomic.Int64 // ns
 	sendWait   atomic.Int64 // ns
 	recvWait   atomic.Int64 // ns
+
+	// Instantaneous gauges, incremented entering the blocking region of a
+	// send/recv and decremented leaving it (on every path, abort included).
+	sendsBlocked atomic.Int64
+	recvsBlocked atomic.Int64
 }
 
 // A CommObserver is called after each completed blocking communication
 // operation. op is "send" or "recv", peer the destination or source rank
-// (-1 for any-source receives), nbytes the payload size, and [start, end)
-// the operation's wall-clock interval, blocking included. Observers run on
+// (-1 for any-source receives), nbytes the payload size, xfer the
+// cluster-wide transfer ID the message carries (the sender's and the
+// receiver's observations of one message share it), and [start, end) the
+// operation's wall-clock interval, blocking included. Observers run on
 // the communicating goroutine and must be fast and safe for concurrent
 // calls; the experiment harness uses one to put comm intervals on an
 // fg.Tracer timeline. Non-blocking TryRecv variants are not observed.
-type CommObserver func(op string, peer, nbytes int, start, end time.Time)
+type CommObserver func(op string, peer, nbytes int, xfer int64, start, end time.Time)
 
 // A Node is one simulated cluster node. Its methods are safe for use from
 // any number of the node's goroutines concurrently.
@@ -253,7 +272,7 @@ type Node struct {
 	Disk    *pdm.Disk
 
 	mu        sync.Mutex
-	mailboxes map[mailboxKey]chan []byte
+	mailboxes map[mailboxKey]chan message
 	fault     func(op string, peer int, nbytes int) error
 
 	stats commCounters
@@ -268,6 +287,13 @@ type Node struct {
 type mailboxKey struct {
 	src int
 	tag int64
+}
+
+// message is one mailbox entry: the payload plus the transfer ID assigned
+// at the send, which rides along so the receiver observes the same ID.
+type message struct {
+	xfer int64
+	data []byte
 }
 
 // Rank returns this node's rank in [0, P).
@@ -291,6 +317,8 @@ func (n *Node) Stats() CommStats {
 		SendBusy:      time.Duration(n.stats.sendBusy.Load()),
 		SendWait:      time.Duration(n.stats.sendWait.Load()),
 		RecvWait:      time.Duration(n.stats.recvWait.Load()),
+		SendsBlocked:  n.stats.sendsBlocked.Load(),
+		RecvsBlocked:  n.stats.recvsBlocked.Load(),
 	}
 }
 
@@ -316,9 +344,9 @@ func (n *Node) SetCommObserver(f CommObserver) {
 }
 
 // observe reports one completed operation to the observer, if any.
-func (n *Node) observe(op string, peer, nbytes int, start time.Time) {
+func (n *Node) observe(op string, peer, nbytes int, xfer int64, start time.Time) {
 	if f := n.obs.Load(); f != nil {
-		(*f)(op, peer, nbytes, start, time.Now())
+		(*f)(op, peer, nbytes, xfer, start, time.Now())
 	}
 }
 
@@ -352,13 +380,13 @@ func (n *Node) checkFault(op string, peer, nbytes int) {
 
 // mailbox returns (creating if needed) the channel buffering messages from
 // src with the given tag.
-func (n *Node) mailbox(src int, tag int64) chan []byte {
+func (n *Node) mailbox(src int, tag int64) chan message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	key := mailboxKey{src, tag}
 	mb := n.mailboxes[key]
 	if mb == nil {
-		mb = make(chan []byte, n.cluster.cfg.MailboxDepth)
+		mb = make(chan message, n.cluster.cfg.MailboxDepth)
 		n.mailboxes[key] = mb
 	}
 	return mb
@@ -374,6 +402,7 @@ func (n *Node) Send(dst int, tag int64, data []byte) {
 	n.checkFault("send", dst, len(data))
 	msg := make([]byte, len(data))
 	copy(msg, data)
+	xfer := n.cluster.transferSeq.Add(1)
 
 	start := time.Now()
 	if dst != n.rank {
@@ -384,13 +413,16 @@ func (n *Node) Send(dst int, tag int64, data []byte) {
 	n.stats.msgsSent.Add(1)
 	n.stats.bytesSent.Add(int64(len(data)))
 
+	n.stats.sendsBlocked.Add(1)
 	select {
-	case n.cluster.nodes[dst].mailbox(n.rank, tag) <- msg:
+	case n.cluster.nodes[dst].mailbox(n.rank, tag) <- message{xfer: xfer, data: msg}:
 	case <-n.cluster.aborted:
+		n.stats.sendsBlocked.Add(-1)
 		n.abortPanic("send", dst)
 	}
+	n.stats.sendsBlocked.Add(-1)
 	n.stats.sendWait.Add(int64(time.Since(start)))
-	n.observe("send", dst, len(data), start)
+	n.observe("send", dst, len(data), xfer, start)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -401,17 +433,20 @@ func (n *Node) Recv(src int, tag int64) []byte {
 	}
 	n.checkFault("recv", src, 0)
 	start := time.Now()
-	var msg []byte
+	var msg message
+	n.stats.recvsBlocked.Add(1)
 	select {
 	case msg = <-n.mailbox(src, tag):
 	case <-n.cluster.aborted:
+		n.stats.recvsBlocked.Add(-1)
 		n.abortPanic("recv", src)
 	}
+	n.stats.recvsBlocked.Add(-1)
 	n.stats.msgsRecvd.Add(1)
-	n.stats.bytesRecvd.Add(int64(len(msg)))
+	n.stats.bytesRecvd.Add(int64(len(msg.data)))
 	n.stats.recvWait.Add(int64(time.Since(start)))
-	n.observe("recv", src, len(msg), start)
-	return msg
+	n.observe("recv", src, len(msg.data), msg.xfer, start)
+	return msg.data
 }
 
 // TryRecv returns a pending message from src with the given tag, or
@@ -420,8 +455,8 @@ func (n *Node) TryRecv(src int, tag int64) ([]byte, bool) {
 	select {
 	case msg := <-n.mailbox(src, tag):
 		n.stats.msgsRecvd.Add(1)
-		n.stats.bytesRecvd.Add(int64(len(msg)))
-		return msg, true
+		n.stats.bytesRecvd.Add(int64(len(msg.data)))
+		return msg.data, true
 	default:
 		return nil, false
 	}
@@ -446,5 +481,7 @@ func (c *Cluster) EmitMetrics(emit func(name string, labels map[string]string, v
 		emit("cluster_send_busy_seconds_total", l(), s.SendBusy.Seconds())
 		emit("cluster_send_wait_seconds_total", l(), s.SendWait.Seconds())
 		emit("cluster_recv_wait_seconds_total", l(), s.RecvWait.Seconds())
+		emit("cluster_sends_blocked", l(), float64(s.SendsBlocked))
+		emit("cluster_recvs_blocked", l(), float64(s.RecvsBlocked))
 	}
 }

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCommObserverXferLinksSendToRecv checks transfer-ID correlation: the
+// IDs the sender's observer sees on its sends are exactly the IDs the
+// receiver's observer sees on its receives — the property cross-node trace
+// merging relies on to draw flow arrows.
+func TestCommObserverXferLinksSendToRecv(t *testing.T) {
+	const msgs = 50
+	c := testCluster(2)
+	var mu sync.Mutex
+	sent := map[int64]bool{}
+	recvd := map[int64]bool{}
+	for i := 0; i < 2; i++ {
+		n := c.Node(i)
+		n.SetCommObserver(func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
+			if xfer <= 0 {
+				t.Errorf("%s observed non-positive transfer ID %d", op, xfer)
+			}
+			if end.Before(start) {
+				t.Errorf("%s interval ends before it starts", op)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch op {
+			case "send":
+				if sent[xfer] {
+					t.Errorf("transfer ID %d observed on two sends", xfer)
+				}
+				sent[xfer] = true
+			case "recv":
+				if recvd[xfer] {
+					t.Errorf("transfer ID %d observed on two receives", xfer)
+				}
+				recvd[xfer] = true
+			}
+		})
+	}
+	err := c.Run(func(n *Node) error {
+		if n.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				n.Send(1, 7, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				n.Recv(0, 7)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sent) != msgs || len(recvd) != msgs {
+		t.Fatalf("observed %d sends and %d receives, want %d each", len(sent), len(recvd), msgs)
+	}
+	for id := range sent {
+		if !recvd[id] {
+			t.Errorf("send transfer ID %d has no matching receive", id)
+		}
+	}
+	// A quiesced cluster has no one parked in a blocking operation.
+	for i := 0; i < 2; i++ {
+		st := c.Node(i).Stats()
+		if st.SendsBlocked != 0 || st.RecvsBlocked != 0 {
+			t.Errorf("node %d gauges after run: sendsBlocked=%d recvsBlocked=%d", i, st.SendsBlocked, st.RecvsBlocked)
+		}
+	}
+}
+
+// TestAnySourceObserverCarriesXfer covers the SendAny/RecvAny path: the
+// receiver observes peer -1 and the sender's transfer ID.
+func TestAnySourceObserverCarriesXfer(t *testing.T) {
+	c := testCluster(2)
+	var mu sync.Mutex
+	sent := map[int64]bool{}
+	recvd := map[int64]int{} // xfer -> observed peer
+	for i := 0; i < 2; i++ {
+		n := c.Node(i)
+		n.SetCommObserver(func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
+			mu.Lock()
+			defer mu.Unlock()
+			switch op {
+			case "send":
+				sent[xfer] = true
+			case "recv":
+				recvd[xfer] = peer
+			}
+		})
+	}
+	err := c.Run(func(n *Node) error {
+		if n.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				n.SendAny(1, 3, []byte("x"))
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				n.RecvAny(3)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sent) != 10 || len(recvd) != 10 {
+		t.Fatalf("observed %d sends, %d receives, want 10 each", len(sent), len(recvd))
+	}
+	for id, peer := range recvd {
+		if !sent[id] {
+			t.Errorf("any-source receive saw transfer ID %d never sent", id)
+		}
+		if peer != -1 {
+			t.Errorf("any-source receive observed peer %d, want -1", peer)
+		}
+	}
+}
+
+// TestSetCommObserverConcurrentWithTraffic installs and removes observers
+// from another goroutine while the nodes communicate flat out. Under -race
+// this proves the atomic-pointer protocol; the test asserts only that
+// whatever callbacks ran saw sane arguments.
+func TestSetCommObserverConcurrentWithTraffic(t *testing.T) {
+	const msgs = 2000
+	c := testCluster(2)
+	var calls atomic.Int64
+	obs := func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
+		calls.Add(1)
+		if op != "send" && op != "recv" {
+			t.Errorf("observer saw op %q", op)
+		}
+		if xfer <= 0 {
+			t.Errorf("observer saw transfer ID %d", xfer)
+		}
+	}
+	stop := make(chan struct{})
+	var hammer sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		n := c.Node(i)
+		hammer.Add(1)
+		go func() {
+			defer hammer.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n.SetCommObserver(obs)
+				n.SetCommObserver(nil)
+			}
+		}()
+	}
+	err := c.Run(func(n *Node) error {
+		if n.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				n.Send(1, 9, []byte("m"))
+			}
+			for i := 0; i < msgs; i++ {
+				n.Recv(1, 10)
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				n.Recv(0, 9)
+			}
+			for i := 0; i < msgs; i++ {
+				n.Send(0, 10, []byte("r"))
+			}
+		}
+		return nil
+	})
+	close(stop)
+	hammer.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n < 0 || n > 4*msgs {
+		t.Errorf("observer ran %d times for %d operations", n, 4*msgs)
+	}
+}

@@ -25,16 +25,18 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "fig8a", "comma-separated experiments: fig8a,fig8b,skew,linear,overlap,iovolume,splitters,passes,buffers,all")
-		nodes    = flag.Int("nodes", 16, "cluster size P")
-		logRecs  = flag.Int("records", 20, "log2 of the total record count N")
-		cpn      = flag.Int("cpn", 4, "csort columns per node (S = cpn*P)")
-		trials   = flag.Int("trials", 1, "runs to average per cell (the paper used 3)")
-		verify   = flag.Bool("verify", true, "verify every sort's output")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		par      = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
-		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while experiments run")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of every run (chrome://tracing, Perfetto)")
+		exps       = flag.String("exp", "fig8a", "comma-separated experiments: fig8a,fig8b,skew,linear,overlap,iovolume,splitters,passes,buffers,all")
+		nodes      = flag.Int("nodes", 16, "cluster size P")
+		logRecs    = flag.Int("records", 20, "log2 of the total record count N")
+		cpn        = flag.Int("cpn", 4, "csort columns per node (S = cpn*P)")
+		trials     = flag.Int("trials", 1, "runs to average per cell (the paper used 3)")
+		verify     = flag.Bool("verify", true, "verify every sort's output")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		par        = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		metrics    = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while experiments run")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of every run (chrome://tracing, Perfetto)")
+		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
+		stallAfter = flag.Duration("stall-after", 0, "arm a stall watchdog: report and dump a black-box trace after this long with no progress (0 = off)")
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// Attach observability after the warmup so its run is not traced.
-	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut)
+	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut, *statusAddr, *stallAfter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fgexp: %v\n", err)
 		os.Exit(1)
@@ -77,6 +79,7 @@ func main() {
 		}
 		if err := fn(pr); err != nil {
 			fmt.Fprintf(os.Stderr, "fgexp: %s: %v\n", name, err)
+			_ = finish(err) // flush the trace and black box before exiting
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -92,7 +95,7 @@ func main() {
 	run("passes", passes)
 	run("buffers", bufferSweep)
 
-	if err := finish(); err != nil {
+	if err := finish(nil); err != nil {
 		fmt.Fprintf(os.Stderr, "fgexp: %v\n", err)
 		os.Exit(1)
 	}

@@ -19,18 +19,20 @@ import (
 
 func main() {
 	var (
-		program  = flag.String("program", "dsort", "dsort, csort, or dsort-linear")
-		nodes    = flag.Int("nodes", 16, "cluster size P")
-		logRecs  = flag.Int("records", 18, "log2 of total records N")
-		recSize  = flag.Int("record-size", 16, "record size in bytes (>= 8)")
-		distArg  = flag.String("dist", "uniform", "key distribution: uniform, all-equal, normal, poisson, skew-one-node, skew-zipf")
-		cpn      = flag.Int("cpn", 2, "csort columns per node")
-		buffers  = flag.Int("buffers", 0, "per-pipeline buffer pool (0 = program default)")
-		verify   = flag.Bool("verify", true, "verify the sorted output")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		par      = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
-		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while the run is in flight")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (chrome://tracing, Perfetto)")
+		program    = flag.String("program", "dsort", "dsort, csort, or dsort-linear")
+		nodes      = flag.Int("nodes", 16, "cluster size P")
+		logRecs    = flag.Int("records", 18, "log2 of total records N")
+		recSize    = flag.Int("record-size", 16, "record size in bytes (>= 8)")
+		distArg    = flag.String("dist", "uniform", "key distribution: uniform, all-equal, normal, poisson, skew-one-node, skew-zipf")
+		cpn        = flag.Int("cpn", 2, "csort columns per node")
+		buffers    = flag.Int("buffers", 0, "per-pipeline buffer pool (0 = program default)")
+		verify     = flag.Bool("verify", true, "verify the sorted output")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		par        = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		metrics    = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while the run is in flight")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (chrome://tracing, Perfetto)")
+		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
+		stallAfter = flag.Duration("stall-after", 0, "arm a stall watchdog: report and dump a black-box trace after this long with no progress (0 = off)")
 	)
 	flag.Parse()
 
@@ -51,20 +53,21 @@ func main() {
 	}
 	pr.Parallelism = *par
 
-	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut)
+	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut, *statusAddr, *stallAfter)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pr.Observe = obs
 
 	res, err := pr.Run(harness.Program(*program), dist, *buffers)
+	// Let finish write the trace and black box before a failed run exits.
+	if ferr := finish(err); ferr != nil {
+		log.Fatal(ferr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
-	if err := finish(); err != nil {
-		log.Fatal(err)
-	}
 	if *verify {
 		fmt.Println("output verified: globally sorted, PDM-striped, permutation of input")
 	}

@@ -1,0 +1,145 @@
+package colsort
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/oocsort"
+	"github.com/fg-go/fg/records"
+	"github.com/fg-go/fg/workload"
+)
+
+// TestTwoNodeMergedTraceLinksSendsToRecvs is the cross-node correlation
+// acceptance test: a two-node csort run recorded with one tracer per node
+// (as separate processes would record), merged with fg.MergeChromeTraces,
+// must contain flow events linking every send to its matching receive by
+// transfer ID — and vice versa, with no orphans.
+func TestTwoNodeMergedTraceLinksSendsToRecvs(t *testing.T) {
+	const p, cpn = 2, 1
+	spec := oocsort.DefaultSpec()
+	spec.Format = records.NewFormat(16)
+	spec.TotalRecords = 1024
+	spec.Distribution = workload.Uniform
+	spec.Seed = 99
+	spec.RecordsPerBlock = int(spec.TotalRecords) / (p * cpn)
+	pl, err := NewPlan(spec, p, cpn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.Config{Nodes: p})
+	if _, err := oocsort.GenerateInput(c, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// One tracer per node, fed by that node's comm observer only — the
+	// same shape as per-process trace files on a real cluster.
+	tracers := make([]*fg.Tracer, p)
+	for i := 0; i < p; i++ {
+		tr := fg.NewTracer(1 << 20)
+		tracers[i] = tr
+		n := c.Node(i)
+		pipe := fmt.Sprintf("node%d", i)
+		n.SetCommObserver(func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
+			s, e := tr.Span(start, end)
+			tr.Record(fg.Event{
+				Stage: "comm." + op, Pipeline: pipe, Kind: fg.EventComm,
+				Round: -1, Bytes: int64(nbytes), Xfer: xfer, Start: s, End: e,
+			})
+		})
+	}
+	err = c.Run(func(node *cluster.Node) error {
+		_, err := Run(node, pl)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		c.Node(i).SetCommObserver(nil)
+	}
+
+	var files [p]bytes.Buffer
+	for i, tr := range tracers {
+		if err := tr.WriteChromeTrace(&files[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged bytes.Buffer
+	if err := fg.MergeChromeTraces(&merged, &files[0], &files[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			ID   string         `json:"id"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	processes := map[string]bool{}
+	sends := map[string]int{} // flow ID -> pid of the sending process
+	recvs := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				if n, ok := ev.Args["name"].(string); ok {
+					processes[n] = true
+				}
+			}
+		case "s":
+			if ev.ID == "" {
+				t.Fatal("send flow event has no ID")
+			}
+			if _, dup := sends[ev.ID]; dup {
+				t.Errorf("transfer ID %s starts two flows", ev.ID)
+			}
+			sends[ev.ID] = ev.Pid
+		case "f":
+			if _, dup := recvs[ev.ID]; dup {
+				t.Errorf("transfer ID %s finishes two flows", ev.ID)
+			}
+			recvs[ev.ID] = ev.Pid
+		}
+	}
+	for _, want := range []string{"node 0", "node 1"} {
+		if !processes[want] {
+			t.Errorf("merged trace has no process %q (have %v)", want, processes)
+		}
+	}
+	if len(sends) == 0 {
+		t.Fatal("merged trace has no flow events; a two-node csort must communicate")
+	}
+	for id := range sends {
+		if _, ok := recvs[id]; !ok {
+			t.Errorf("send flow %s has no matching receive", id)
+		}
+	}
+	for id := range recvs {
+		if _, ok := sends[id]; !ok {
+			t.Errorf("receive flow %s has no matching send", id)
+		}
+	}
+	// Cross-node messages must link events in different merged processes.
+	crossNode := 0
+	for id, spid := range sends {
+		if rpid, ok := recvs[id]; ok && rpid != spid {
+			crossNode++
+		}
+	}
+	if crossNode == 0 {
+		t.Error("no flow crosses nodes; the merge did not correlate the two files")
+	}
+}

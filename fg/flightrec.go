@@ -1,0 +1,139 @@
+package fg
+
+import (
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a bounded, lock-free ring of the most recent trace
+// events. Where a Tracer keeps a whole run's timeline (and is therefore
+// opt-in and sized generously), the flight recorder is the always-on cheap
+// mode: it retains only the last few thousand events, overwriting the
+// oldest, so a run that hangs or crashes leaves a readable "black box" of
+// its final moments even when full tracing was off. StallReport handling
+// and *PanicError paths snapshot it into a Chrome-trace dump.
+
+// A FlightRecorder records recent events into a fixed ring. Create with
+// NewFlightRecorder and attach with Network.SetFlightRecorder (or via
+// Observe.Flight); several networks may share one recorder, putting their
+// final moments on one timeline. All methods are safe for concurrent use.
+type FlightRecorder struct {
+	epoch time.Time
+	mask  uint64
+	head  atomic.Uint64 // next slot sequence number (monotonic)
+	slots []flightSlot
+}
+
+// flightSlot holds one ring entry. seq is the 1-based sequence number of
+// the event stored (0 = never written); lock is a per-slot CAS spinlock so
+// a writer lapping the ring and a concurrent snapshot never see a torn
+// event. The critical section is a struct copy, so the spin is bounded and
+// the ring stays allocation- and mutex-free on the hot path.
+type flightSlot struct {
+	lock atomic.Int32
+	seq  uint64
+	ev   Event
+}
+
+func (s *flightSlot) acquire() {
+	for !s.lock.CompareAndSwap(0, 1) {
+	}
+}
+
+func (s *flightSlot) release() { s.lock.Store(0) }
+
+// NewFlightRecorder creates a recorder retaining the last n events (rounded
+// up to a power of two; n <= 0 selects a default of 4096).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 4096
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &FlightRecorder{
+		epoch: time.Now(),
+		mask:  uint64(size - 1),
+		slots: make([]flightSlot, size),
+	}
+}
+
+// Epoch returns the recorder's time origin; Event Start/End are relative to
+// it.
+func (fr *FlightRecorder) Epoch() time.Time { return fr.epoch }
+
+// Span converts a wall-clock interval into the recorder's epoch-relative
+// form, for building Events outside the framework (the harness's comm
+// observer, say).
+func (fr *FlightRecorder) Span(start, end time.Time) (s, e time.Duration) {
+	return start.Sub(fr.epoch), end.Sub(fr.epoch)
+}
+
+// Record adds an event, overwriting the oldest once the ring is full. It
+// never blocks on other recorders beyond a bounded per-slot spin.
+func (fr *FlightRecorder) Record(e Event) {
+	seq := fr.head.Add(1) // 1-based
+	s := &fr.slots[(seq-1)&fr.mask]
+	s.acquire()
+	s.ev = e
+	s.seq = seq
+	s.release()
+}
+
+// Len returns how many events the ring currently holds.
+func (fr *FlightRecorder) Len() int {
+	n := fr.head.Load()
+	if n > uint64(len(fr.slots)) {
+		return len(fr.slots)
+	}
+	return int(n)
+}
+
+// Overwritten returns how many events have been discarded to make room —
+// the black box's analogue of Tracer.Dropped.
+func (fr *FlightRecorder) Overwritten() int64 {
+	n := fr.head.Load()
+	if n <= uint64(len(fr.slots)) {
+		return 0
+	}
+	return int64(n - uint64(len(fr.slots)))
+}
+
+// Snapshot copies the ring's current contents in chronological start order.
+// It may be taken at any time, including while stages are recording.
+func (fr *FlightRecorder) Snapshot() []Event {
+	out := make([]Event, 0, len(fr.slots))
+	for i := range fr.slots {
+		s := &fr.slots[i]
+		s.acquire()
+		seq, ev := s.seq, s.ev
+		s.release()
+		if seq == 0 {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WriteChromeTrace dumps the ring as Chrome trace-event JSON — the black
+// box. The output has the same shape as Tracer.WriteChromeTrace, including
+// the fg_trace_meta metadata event, so it is loadable in chrome://tracing
+// or Perfetto and mergeable with MergeChromeTraces.
+func (fr *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	return writeChromeJSON(w, fr.Snapshot(), fr.epoch, fr.Overwritten())
+}
+
+// SetFlightRecorder attaches a flight recorder to the network: every
+// interval the network would offer a tracer (work, wait, retry) is also
+// recorded into the ring. Attach before Run. A nil Network tracer and a
+// flight recorder may coexist; they record independently, each against its
+// own epoch.
+func (nw *Network) SetFlightRecorder(fr *FlightRecorder) {
+	nw.mustNotBeStarted()
+	nw.flight = fr
+}

@@ -1,0 +1,187 @@
+package fg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRing fills a small ring past capacity and checks that
+// only the most recent events survive, in chronological order.
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	for i := 0; i < 100; i++ {
+		fr.Record(Event{Stage: "s", Pipeline: "p", Kind: EventWork, Round: i,
+			Start: time.Duration(i) * time.Millisecond, End: time.Duration(i+1) * time.Millisecond})
+	}
+	if got := fr.Len(); got != 16 {
+		t.Errorf("Len = %d, want 16", got)
+	}
+	if got := fr.Overwritten(); got != 84 {
+		t.Errorf("Overwritten = %d, want 84", got)
+	}
+	snap := fr.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot has %d events, want 16", len(snap))
+	}
+	for i, e := range snap {
+		if e.Round != 84+i {
+			t.Errorf("snapshot[%d].Round = %d, want %d (oldest events must be overwritten first)", i, e.Round, 84+i)
+		}
+	}
+}
+
+// TestFlightRecorderDefaultsAndPartialFill checks the zero-size default and
+// that a partially filled ring reports only what it holds.
+func TestFlightRecorderDefaultsAndPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	if fr.Len() != 0 || fr.Overwritten() != 0 {
+		t.Errorf("fresh recorder: Len=%d Overwritten=%d", fr.Len(), fr.Overwritten())
+	}
+	fr.Record(Event{Stage: "only", Kind: EventWork})
+	if fr.Len() != 1 {
+		t.Errorf("Len = %d after one record", fr.Len())
+	}
+	if snap := fr.Snapshot(); len(snap) != 1 || snap[0].Stage != "only" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record from many goroutines while
+// another goroutine snapshots continuously; under -race this proves the
+// per-slot locking, and the head counter must account for every record.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const writers, per = 8, 2000
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, e := range fr.Snapshot() {
+					// A torn event would mix fields of different records;
+					// every writer keeps Round == int(Start in ms).
+					if int(e.Start/time.Millisecond) != e.Round {
+						t.Errorf("torn event: %+v", e)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := w*per + i
+				fr.Record(Event{Stage: "s", Kind: EventWork, Round: r,
+					Start: time.Duration(r) * time.Millisecond})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWg.Wait()
+	if total := int64(fr.Len()) + fr.Overwritten(); total != writers*per {
+		t.Errorf("Len+Overwritten = %d, want %d", total, writers*per)
+	}
+}
+
+// TestFlightRecorderChromeTrace dumps the ring and checks the black box has
+// the same shape as a full trace: the fg_trace_meta metadata event carrying
+// the overwrite count, and one X event per retained ring entry.
+func TestFlightRecorderChromeTrace(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		fr.Record(Event{Stage: fmt.Sprintf("s%d", i%2), Pipeline: "p", Kind: EventWork, Round: i,
+			Start: time.Duration(i) * time.Millisecond, End: time.Duration(i+1) * time.Millisecond})
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("black box is not valid JSON: %v", err)
+	}
+	xEvents, metaSeen := 0, false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+		case "M":
+			if ev.Name == "fg_trace_meta" {
+				metaSeen = true
+				if d, _ := ev.Args["dropped"].(float64); int64(d) != fr.Overwritten() {
+					t.Errorf("meta dropped = %v, want %d", ev.Args["dropped"], fr.Overwritten())
+				}
+				if e, _ := ev.Args["epoch_unix_nano"].(float64); e == 0 {
+					t.Error("meta has no epoch")
+				}
+			}
+		}
+	}
+	if !metaSeen {
+		t.Error("black box has no fg_trace_meta event; MergeChromeTraces cannot align it")
+	}
+	if xEvents != fr.Len() {
+		t.Errorf("black box has %d X events, ring holds %d", xEvents, fr.Len())
+	}
+}
+
+// TestFlightRecorderOnNetwork runs a network with only a flight recorder
+// attached (no tracer) and checks the ring saw its work.
+func TestFlightRecorderOnNetwork(t *testing.T) {
+	fr := NewFlightRecorder(256)
+	nw := NewNetwork("boxed")
+	nw.SetFlightRecorder(fr)
+	p := nw.AddPipeline("main", Buffers(2), Rounds(5))
+	p.AddStage("work", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	work := 0
+	for _, e := range fr.Snapshot() {
+		if e.Kind == EventWork && e.Stage == "work" {
+			work++
+		}
+	}
+	if work != 5 {
+		t.Errorf("flight recorder saw %d work events, want 5", work)
+	}
+}
+
+// TestSetFlightRecorderAfterRunPanics mirrors the tracer's contract.
+func TestSetFlightRecorderAfterRunPanics(t *testing.T) {
+	nw := NewNetwork("lateflight")
+	p := nw.AddPipeline("main", Rounds(1))
+	p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFlightRecorder after Run did not panic")
+		}
+	}()
+	nw.SetFlightRecorder(NewFlightRecorder(0))
+}

@@ -176,12 +176,14 @@ func runFork(nw *Network, g *group, rt *forkRuntime) {
 	in := g.queues[pos]
 	ctx := newCtx(nw, f.stage)
 	ctx.restricted = true
+	f.stage.stats.setPark(StageAccepting, time.Now())
 	for {
 		b, err := in.pop(nw.done)
 		if err != nil {
 			return
 		}
 		if b.caboose {
+			f.stage.stats.setPark(StageDone, time.Now())
 			for i := range f.branches {
 				cb := b
 				if i > 0 {
@@ -223,19 +225,26 @@ func runBranchStage(nw *Network, g *group, rt *forkRuntime, branch, idx int) {
 	}
 	ctx := newCtx(nw, s)
 	ctx.restricted = true
+	s.stats.setPark(StageAccepting, time.Now())
 	for {
+		start := time.Now()
 		b, err := in.pop(nw.done)
 		if err != nil {
 			return
 		}
+		s.stats.acceptWait.Add(int64(time.Since(start)))
 		if b.caboose {
+			s.stats.setPark(StageDone, time.Now())
 			_ = out.push(b, nw.done)
 			return
 		}
 		t0 := time.Now()
+		s.stats.setPark(StageWorking, t0)
 		ferr := s.round(ctx, b)
-		s.stats.work.Add(int64(time.Since(t0)))
+		t1 := time.Now()
+		s.stats.work.Add(int64(t1.Sub(t0)))
 		s.stats.rounds.Add(1)
+		s.stats.setPark(StageAccepting, t1)
 		nw.traceWork(s, b.pipe, b.Round, t0)
 		if ferr != nil {
 			nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, ferr))
@@ -256,6 +265,7 @@ func runJoin(nw *Network, g *group, rt *forkRuntime) {
 	in := g.queues[pos]
 	out := g.queues[pos+1]
 	remaining := len(rt.f.branches)
+	rt.f.joiner.stats.setPark(StageAccepting, time.Now())
 	for {
 		b, err := in.pop(nw.done)
 		if err != nil {
@@ -264,6 +274,7 @@ func runJoin(nw *Network, g *group, rt *forkRuntime) {
 		if b.caboose {
 			remaining--
 			if remaining == 0 {
+				rt.f.joiner.stats.setPark(StageDone, time.Now())
 				_ = out.push(b, nw.done)
 				return
 			}

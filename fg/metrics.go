@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,9 +40,10 @@ type Sample struct {
 // NewMetricsRegistry. Registries are meant to be few and long-lived (one
 // per program, typically), not one per pass.
 type MetricsRegistry struct {
-	mu    sync.Mutex
-	nets  []*Network
-	funcs []func(EmitFunc)
+	mu      sync.Mutex
+	nets    []*Network
+	funcs   []func(EmitFunc)
+	tracers []*Tracer
 }
 
 var (
@@ -82,6 +84,24 @@ func (r *MetricsRegistry) RegisterNetwork(nw *Network) {
 	r.mu.Unlock()
 }
 
+// RegisterTracer adds a tracer to the registry: its dropped-event count
+// appears as fg_trace_dropped_total, so a scraper learns the trace timeline
+// is truncated without parsing the trace. Registering the same tracer again
+// is a no-op (Observe.Attach registers its tracer once per network).
+func (r *MetricsRegistry) RegisterTracer(tr *Tracer) {
+	if tr == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.tracers {
+		if have == tr {
+			return
+		}
+	}
+	r.tracers = append(r.tracers, tr)
+}
+
 // RegisterFunc adds a collector called on every snapshot. Collectors must
 // be safe to call from any goroutine.
 func (r *MetricsRegistry) RegisterFunc(f func(EmitFunc)) {
@@ -98,6 +118,7 @@ func (r *MetricsRegistry) Samples() []Sample {
 	r.mu.Lock()
 	nets := append([]*Network(nil), r.nets...)
 	funcs := append([]func(EmitFunc){}, r.funcs...)
+	tracers := append([]*Tracer(nil), r.tracers...)
 	r.mu.Unlock()
 	var out []Sample
 	emit := func(name string, labels map[string]string, value float64) {
@@ -105,6 +126,10 @@ func (r *MetricsRegistry) Samples() []Sample {
 	}
 	for _, nw := range nets {
 		emitNetwork(nw.Stats(), emit)
+	}
+	for i, tr := range tracers {
+		emit("fg_trace_dropped_total",
+			map[string]string{"tracer": strconv.Itoa(i)}, float64(tr.Dropped()))
 	}
 	for _, f := range funcs {
 		f(emit)
@@ -153,6 +178,7 @@ var metricHelp = map[string]string{
 	"fg_stage_work_seconds_total": "time spent inside the stage function",
 	"fg_stage_wait_seconds_total": "time the stage spent blocked waiting to accept",
 	"fg_stage_queue_len":          "buffers waiting in the stage's input queue",
+	"fg_trace_dropped_total":      "trace events discarded because the tracer was full",
 }
 
 // WritePrometheus writes the current samples in Prometheus text exposition
@@ -234,9 +260,10 @@ type MetricsServer struct {
 }
 
 // Serve starts an HTTP server on addr (host:port; :0 picks a free port)
-// exposing the registry at /metrics (Prometheus text format) and the
-// process's expvar state at /debug/vars. It returns immediately; use
-// Addr for the bound address and Close to stop.
+// exposing the registry at /metrics (Prometheus text format), live network
+// health at /status (text) and /status.json, and the process's expvar
+// state at /debug/vars. It returns immediately; use Addr for the bound
+// address and Close to stop.
 func (r *MetricsRegistry) Serve(addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -244,6 +271,8 @@ func (r *MetricsRegistry) Serve(addr string) (*MetricsServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r)
+	mux.Handle("/status", r.StatusTextHandler())
+	mux.Handle("/status.json", r.StatusJSONHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()

@@ -1,5 +1,7 @@
 package fg
 
+import "sync"
+
 // An Observe bundles the observability hooks a program hands to code that
 // builds networks on its behalf — the sorting programs' configs and the
 // experiment harness each carry one. The zero value (and a nil pointer)
@@ -9,9 +11,18 @@ package fg
 type Observe struct {
 	// Tracer, if set, is attached to each network before Run.
 	Tracer *Tracer
+	// Flight, if set, is attached to each network before Run: the last few
+	// thousand events stay in its ring as a black box even when Tracer is
+	// nil (see FlightRecorder).
+	Flight *FlightRecorder
 	// Metrics, if set, has each network registered before Run, so a scrape
-	// of the registry mid-run sees the network's live counters.
+	// of the registry mid-run sees the network's live counters. A Tracer in
+	// the same bundle is registered too, surfacing fg_trace_dropped_total.
 	Metrics *MetricsRegistry
+	// Watchdog, if set, starts a progress watchdog on each network for the
+	// duration of its Run (see Network.Watch). The config is shared;
+	// OnStall may be called by several networks' watchdogs concurrently.
+	Watchdog *WatchdogConfig
 	// OnStats, if set, receives each network's final snapshot right after
 	// its Run returns. Programs that run several networks concurrently (one
 	// per simulated cluster node) call it concurrently; the callback must
@@ -19,11 +30,15 @@ type Observe struct {
 	OnStats func(NetworkStats)
 }
 
-// Attach wires the bundle into nw: the tracer is attached and the network
-// registered with the metrics registry, both before Run. The returned
-// finish function is to be called (typically deferred) once Run has
-// returned; it delivers the final snapshot to OnStats. Attach on a nil
-// Observe is a no-op, and the finish function is never nil:
+// Attach wires the bundle into nw: the tracer and flight recorder are
+// attached, the network (and tracer) registered with the metrics registry,
+// and the watchdog started, all before Run. The returned finish function
+// is to be called (typically deferred) once Run has returned; it stops the
+// watchdog and delivers the final snapshot to OnStats — exactly once, even
+// if called again (a runner that both defers it and calls it on an error
+// path, or a Run that returns a *PanicError, must not double-report).
+// Attach on a nil Observe is a no-op, and the finish function is never
+// nil:
 //
 //	finish := cfg.Observe.Attach(nw)
 //	defer finish()
@@ -35,12 +50,27 @@ func (o *Observe) Attach(nw *Network) func() {
 	if o.Tracer != nil {
 		nw.SetTracer(o.Tracer)
 	}
+	if o.Flight != nil {
+		nw.SetFlightRecorder(o.Flight)
+	}
 	if o.Metrics != nil {
 		o.Metrics.RegisterNetwork(nw)
+		o.Metrics.RegisterTracer(o.Tracer)
+	}
+	var dog *Watchdog
+	if o.Watchdog != nil {
+		dog = nw.Watch(*o.Watchdog)
 	}
 	fn := o.OnStats
-	if fn == nil {
-		return func() {}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if dog != nil {
+				dog.Stop()
+			}
+			if fn != nil {
+				fn(nw.Stats())
+			}
+		})
 	}
-	return func() { fn(nw.Stats()) }
 }

@@ -83,6 +83,10 @@ func runReplicated(nw *Network, g *group, pos int) {
 	ctx := g.pipes[0].slotCtx[pos]
 	var seen atomic.Int32
 	n := s.replicas
+	// The workers share one stage object, so its park state flaps between
+	// the transitions of whichever worker stored last; it is exact when the
+	// whole crew is parked, which is the case a watchdog cares about.
+	s.stats.setPark(StageAccepting, time.Now())
 	for w := 0; w < n; w++ {
 		nw.wg.Add(1)
 		go nw.labeled(g.name, s.name, func() {
@@ -104,14 +108,18 @@ func runReplicated(nw *Network, g *group, pos int) {
 					if int(seen.Add(1)) < n {
 						_ = in.push(b, nw.done) // pass it to a sibling
 					} else {
+						s.stats.setPark(StageDone, time.Now())
 						_ = out.push(b, nw.done) // last worker: done for real
 					}
 					return
 				}
 				t0 := time.Now()
+				s.stats.setPark(StageWorking, t0)
 				ferr := s.round(ctx, b)
-				s.stats.work.Add(int64(time.Since(t0)))
+				t1 := time.Now()
+				s.stats.work.Add(int64(t1.Sub(t0)))
 				s.stats.rounds.Add(1)
+				s.stats.setPark(StageAccepting, t1)
 				nw.traceWork(s, b.pipe, b.Round, t0)
 				if ferr != nil {
 					nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, ferr))

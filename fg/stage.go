@@ -54,6 +54,52 @@ type stageCounters struct {
 	rounds     atomic.Int64
 	acceptWait atomic.Int64 // ns blocked waiting to accept
 	work       atomic.Int64 // ns inside the stage function
+
+	// park is the stage's instantaneous activity (a StageState value) and
+	// parkSince the wall clock (UnixNano) of its last transition. The
+	// runners store them on transitions they already time, so a watchdog or
+	// status scrape can tell a stage that is working from one parked in an
+	// accept — and how long it has been there — without stopping anything.
+	park      atomic.Int32
+	parkSince atomic.Int64
+}
+
+// setPark records a stage state transition at the given wall-clock instant.
+func (sc *stageCounters) setPark(st StageState, now time.Time) {
+	sc.parkSince.Store(now.UnixNano())
+	sc.park.Store(int32(st))
+}
+
+// A StageState is a stage's instantaneous activity, sampled race-free from
+// its counters. It is deliberately coarse: the watchdog and status endpoint
+// refine it with round progress and queue occupancy.
+type StageState int32
+
+const (
+	// StageIdle: the network has not started (or the stage never ran).
+	StageIdle StageState = iota
+	// StageAccepting: parked in an accept, waiting for a buffer.
+	StageAccepting
+	// StageWorking: inside the stage function. A stage parked here for a
+	// long time with no round progress is stuck in a disk or communication
+	// operation — or deadlocked.
+	StageWorking
+	// StageDone: the stage consumed its caboose and its runner moved on.
+	StageDone
+)
+
+func (s StageState) String() string {
+	switch s {
+	case StageIdle:
+		return "idle"
+	case StageAccepting:
+		return "accepting"
+	case StageWorking:
+		return "working"
+	case StageDone:
+		return "done"
+	}
+	return fmt.Sprintf("StageState(%d)", int32(s))
 }
 
 // NewStage creates a free stage that is not yet part of any pipeline. Use
@@ -160,8 +206,11 @@ func (c *Ctx) AcceptFrom(p *Pipeline) (*Buffer, bool) {
 	in := p.group.queues[pos]
 	for {
 		start := time.Now()
+		c.stage.stats.setPark(StageAccepting, start)
 		b, err := in.pop(c.nw.done)
-		c.stage.stats.acceptWait.Add(int64(time.Since(start)))
+		now := time.Now()
+		c.stage.stats.acceptWait.Add(int64(now.Sub(start)))
+		c.stage.stats.setPark(StageWorking, now)
 		if err != nil {
 			c.nw.traceWait(c.stage, p, -1, start)
 			return nil, false
@@ -239,8 +288,11 @@ func runFree(nw *Network, s *Stage) {
 	defer nw.recoverPanic(s.name)
 	ctx := newCtx(nw, s)
 	start := time.Now()
+	s.stats.setPark(StageWorking, start)
 	err := s.free(ctx)
-	s.stats.work.Add(int64(time.Since(start)) - s.stats.acceptWait.Load())
+	end := time.Now()
+	s.stats.work.Add(int64(end.Sub(start)) - s.stats.acceptWait.Load())
+	s.stats.setPark(StageDone, end)
 	if err != nil {
 		nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, err))
 		return
@@ -267,6 +319,14 @@ func runSlot(nw *Network, g *group, pos int) {
 	in := g.queues[pos]
 	out := g.queues[pos+1]
 	remaining := len(g.pipes)
+	// Every member stage of the slot is now waiting for its first buffer.
+	// Per round, the served stage is marked working for exactly the span of
+	// its function, so a parked slot shows every member accepting and a
+	// stage stuck inside its function shows working since the round began.
+	slotStart := time.Now()
+	for _, p := range g.pipes {
+		p.stages[pos].stats.setPark(StageAccepting, slotStart)
+	}
 	for remaining > 0 {
 		start := time.Now()
 		b, err := in.pop(nw.done)
@@ -284,14 +344,18 @@ func runSlot(nw *Network, g *group, pos int) {
 		nw.traceWait(s, b.pipe, round, start)
 		if b.caboose {
 			remaining--
+			s.stats.setPark(StageDone, time.Now())
 			_ = out.push(b, nw.done)
 			continue
 		}
 		ctx := b.pipe.slotCtx[pos]
 		t0 := time.Now()
+		s.stats.setPark(StageWorking, t0)
 		ferr := s.round(ctx, b)
-		s.stats.work.Add(int64(time.Since(t0)))
+		t1 := time.Now()
+		s.stats.work.Add(int64(t1.Sub(t0)))
 		s.stats.rounds.Add(1)
+		s.stats.setPark(StageAccepting, t1)
 		nw.traceWork(s, b.pipe, b.Round, t0)
 		if ferr != nil {
 			nw.fail(fmt.Errorf("fg: stage %q: %w", s.name, ferr))

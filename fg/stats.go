@@ -26,6 +26,12 @@ type StageStats struct {
 	// queue in front of a stage marks it as the bottleneck; a persistently
 	// empty one means the stage is starved. Zero before the network starts.
 	QueueLen int
+	// State is the stage's instantaneous activity and InState how long it has
+	// been there. A stage Working for seconds with no round progress is stuck
+	// inside its function (a hung disk or comm op, or a deadlock); one
+	// Accepting that long is waiting on an upstream that stopped producing.
+	State   StageState
+	InState time.Duration
 }
 
 // PipelineStats reports one pipeline's configuration and progress.
@@ -104,6 +110,17 @@ func (nw *Network) Stats() NetworkStats {
 					Rounds:     s.stats.rounds.Load(),
 					AcceptWait: time.Duration(s.stats.acceptWait.Load()),
 					Work:       time.Duration(s.stats.work.Load()),
+				}
+				// Load parkSince before park: setPark stores since first, so
+				// the duration can only be read conservatively (too short),
+				// never as a stale long stretch in a fresh state.
+				since := s.stats.parkSince.Load()
+				ss.State = StageState(s.stats.park.Load())
+				if ss.State != StageIdle && since > 0 {
+					ss.InState = time.Since(time.Unix(0, since))
+					if ss.InState < 0 {
+						ss.InState = 0
+					}
 				}
 				if built {
 					ss.QueueLen = len(g.queues[pos].ch)

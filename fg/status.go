@@ -1,0 +1,117 @@
+package fg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Live status endpoint. Where /metrics serves flat samples for a scraper,
+// /status answers the operator's question directly: which stages are
+// running, which are blocked, and what governs the wall clock right now.
+// Both views read the same lock-free counters Stats reads, so hitting the
+// endpoint mid-run costs the run nothing.
+
+// statusStuckFor is the park duration past which the status view labels a
+// stage blocked rather than running. It is a display threshold, not a stall
+// alarm — the watchdog applies its own, derived from StallAfter.
+const statusStuckFor = time.Second
+
+// NetworkStatus is one network's live health document, served as JSON at
+// /status.json and rendered as text at /status.
+type NetworkStatus struct {
+	Network string        `json:"network"`
+	Running bool          `json:"running"`
+	Wall    time.Duration `json:"wall_ns"`
+	Stages  []StageHealth `json:"stages"`
+	// Bottleneck is the current governing-stage analysis — mid-run it
+	// reports the bottleneck so far.
+	Bottleneck BottleneckReport `json:"bottleneck"`
+}
+
+// Status snapshots the network's live health: per-stage classified states,
+// rounds, utilization, and the current bottleneck. Safe to call at any
+// time, including while Run is in flight.
+func (nw *Network) Status() NetworkStatus {
+	st := nw.Stats()
+	ns := NetworkStatus{
+		Network:    st.Name,
+		Running:    st.Running,
+		Wall:       st.Wall,
+		Stages:     classifyStages(st, statusStuckFor),
+		Bottleneck: st.Bottleneck(),
+	}
+	for i, s := range st.Stages {
+		if st.Wall > 0 {
+			ns.Stages[i].Utilization = float64(s.Work) / float64(st.Wall)
+		}
+	}
+	return ns
+}
+
+// String renders the status as a human-readable block.
+func (s NetworkStatus) String() string {
+	var b strings.Builder
+	state := "idle"
+	if s.Running {
+		state = "running"
+	} else if s.Wall > 0 {
+		state = "finished"
+	}
+	fmt.Fprintf(&b, "network %q: %s, wall %v\n", s.Network, state, s.Wall.Round(time.Millisecond))
+	for _, h := range s.Stages {
+		fmt.Fprintf(&b, "  stage %-20s on %-20s %-14s rounds=%-6d util=%3.0f%% queue=%-3d for %v\n",
+			h.Stage, h.Pipeline, h.State, h.Rounds, 100*h.Utilization, h.QueueLen,
+			h.InState.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "  %s\n", s.Bottleneck)
+	return b.String()
+}
+
+// statusSnapshots builds one status document per registered network.
+func (r *MetricsRegistry) statusSnapshots() []NetworkStatus {
+	r.mu.Lock()
+	nets := append([]*Network(nil), r.nets...)
+	r.mu.Unlock()
+	out := make([]NetworkStatus, len(nets))
+	for i, nw := range nets {
+		out[i] = nw.Status()
+	}
+	return out
+}
+
+// StatusJSONHandler serves every registered network's status as a JSON
+// array, for dashboards and scripts.
+func (r *MetricsRegistry) StatusJSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.statusSnapshots())
+	})
+}
+
+// StatusTextHandler serves every registered network's status as plain text,
+// for curl and humans.
+func (r *MetricsRegistry) StatusTextHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snaps := r.statusSnapshots()
+		if len(snaps) == 0 {
+			fmt.Fprintln(w, "(no networks registered)")
+			return
+		}
+		for _, s := range snaps {
+			fmt.Fprint(w, s.String())
+		}
+	})
+}
+
+// ServeStatus starts an HTTP endpoint for this network's live health: a
+// fresh registry with the network registered, served on addr (":0" picks a
+// free port). The server exposes /status (text), /status.json, /metrics,
+// and /debug/vars — the same mux MetricsRegistry.Serve mounts. May be
+// called before or during Run.
+func (nw *Network) ServeStatus(addr string) (*MetricsServer, error) {
+	return nw.ServeMetrics(addr)
+}

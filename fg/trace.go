@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,11 @@ type Event struct {
 	Round int
 	// Bytes is the payload size for comm events; 0 otherwise.
 	Bytes int64
+	// Xfer is the cluster-assigned transfer ID for comm events (0 = none).
+	// The same ID appears on the sender's and the receiver's event, so
+	// WriteChromeTrace can emit flow arrows linking the two — across trace
+	// files, once merged with MergeChromeTraces.
+	Xfer  int64
 	Start time.Duration // since the tracer's epoch
 	End   time.Duration
 }
@@ -131,58 +137,51 @@ func (nw *Network) SetTracer(tr *Tracer) {
 	nw.tracer = tr
 }
 
-// traceWork records a work interval if tracing is on.
-func (nw *Network) traceWork(s *Stage, p *Pipeline, round int, start time.Time) {
-	if nw.tracer == nil {
-		return
+// emitTrace records one interval into the attached tracer and flight
+// recorder, each against its own epoch. The callers have already checked
+// that at least one sink is attached, so an unobserved network never
+// reaches this path.
+func (nw *Network) emitTrace(kind EventKind, s *Stage, p *Pipeline, round int, start, now time.Time) {
+	e := Event{Stage: s.name, Pipeline: p.name, Kind: kind, Round: round}
+	if tr := nw.tracer; tr != nil {
+		e.Start, e.End = start.Sub(tr.epoch), now.Sub(tr.epoch)
+		tr.Record(e)
 	}
-	now := time.Now()
-	nw.tracer.Record(Event{
-		Stage:    s.name,
-		Pipeline: p.name,
-		Kind:     EventWork,
-		Round:    round,
-		Start:    start.Sub(nw.tracer.epoch),
-		End:      now.Sub(nw.tracer.epoch),
-	})
+	if fr := nw.flight; fr != nil {
+		e.Start, e.End = start.Sub(fr.epoch), now.Sub(fr.epoch)
+		fr.Record(e)
+	}
 }
 
-// traceWait records a wait interval if tracing is on and it is long enough
-// to matter (sub-10us waits are queue handoffs, not stalls). round is the
-// round of the buffer whose arrival ended the wait, or -1 when the wait
-// ended in end-of-stream or shutdown.
+// traceWork records a work interval if tracing or flight recording is on.
+func (nw *Network) traceWork(s *Stage, p *Pipeline, round int, start time.Time) {
+	if nw.tracer == nil && nw.flight == nil {
+		return
+	}
+	nw.emitTrace(EventWork, s, p, round, start, time.Now())
+}
+
+// traceWait records a wait interval if tracing or flight recording is on
+// and it is long enough to matter (sub-10us waits are queue handoffs, not
+// stalls). round is the round of the buffer whose arrival ended the wait,
+// or -1 when the wait ended in end-of-stream or shutdown.
 func (nw *Network) traceWait(s *Stage, p *Pipeline, round int, start time.Time) {
-	if nw.tracer == nil {
+	if nw.tracer == nil && nw.flight == nil {
 		return
 	}
 	now := time.Now()
 	if now.Sub(start) < 10*time.Microsecond {
 		return
 	}
-	nw.tracer.Record(Event{
-		Stage:    s.name,
-		Pipeline: p.name,
-		Kind:     EventWait,
-		Round:    round,
-		Start:    start.Sub(nw.tracer.epoch),
-		End:      now.Sub(nw.tracer.epoch),
-	})
+	nw.emitTrace(EventWait, s, p, round, start, now)
 }
 
 // traceRetry records one failed attempt of a Retry-wrapped stage.
 func (nw *Network) traceRetry(s *Stage, p *Pipeline, round int, start time.Time) {
-	if nw.tracer == nil {
+	if nw.tracer == nil && nw.flight == nil {
 		return
 	}
-	now := time.Now()
-	nw.tracer.Record(Event{
-		Stage:    s.name,
-		Pipeline: p.name,
-		Kind:     EventRetry,
-		Round:    round,
-		Start:    start.Sub(nw.tracer.epoch),
-		End:      now.Sub(nw.tracer.epoch),
-	})
+	nw.emitTrace(EventRetry, s, p, round, start, time.Now())
 }
 
 // Gantt renders the trace as an ASCII chart: one row per stage, time
@@ -257,7 +256,7 @@ func (tr *Tracer) Gantt(width int) string {
 // chromeEvent is one entry of the Chrome trace-event format. The fields and
 // their one-letter names are fixed by the format: ph "X" is a complete
 // event with a ts/dur pair in microseconds, ph "M" is metadata (used to
-// name the rows).
+// name the rows), ph "s"/"f" are flow start/finish events bound by ID.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -266,6 +265,8 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -276,19 +277,44 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// traceMetaName is the metadata event WriteChromeTrace plants in every
+// trace: its args carry the recording epoch (Unix nanoseconds) so
+// MergeChromeTraces can align timelines recorded against different epochs,
+// and the dropped/overwritten count so consumers learn the timeline is
+// incomplete without parsing a Gantt header.
+const traceMetaName = "fg_trace_meta"
+
 // WriteChromeTrace exports the recorded events as Chrome trace-event JSON,
 // loadable in chrome://tracing or Perfetto. Each pipeline/stage row becomes
 // one named thread; work, wait, retry, and comm intervals become complete
 // ("X") events categorized by kind, carrying the round (and byte count for
-// comm) in their args. Events are emitted in chronological start order with
-// timestamps in microseconds since the tracer's epoch.
+// comm) in their args. A comm event carrying a transfer ID additionally
+// emits a flow event — "s" on a "...send" stage, "f" on a "...recv" stage —
+// so the sender's and receiver's slices are linked by an arrow, across
+// files once merged with MergeChromeTraces. Events are emitted in
+// chronological start order with timestamps in microseconds since the
+// tracer's epoch; an fg_trace_meta metadata event records the epoch and the
+// dropped-event count.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := tr.Events()
+	return writeChromeJSON(w, tr.Events(), tr.epoch, tr.Dropped())
+}
+
+// writeChromeJSON renders events (already in start order) as one
+// Chrome-trace document; shared by Tracer and FlightRecorder.
+func writeChromeJSON(w io.Writer, events []Event, epoch time.Time, dropped int64) error {
 	const pid = 1
 	tidOf := map[string]int{}
 	var out chromeTrace
 	out.DisplayTimeUnit = "ms"
-	out.TraceEvents = []chromeEvent{}
+	out.TraceEvents = []chromeEvent{{
+		Name: traceMetaName,
+		Ph:   "M",
+		Pid:  pid,
+		Args: map[string]any{
+			"epoch_unix_nano": epoch.UnixNano(),
+			"dropped":         dropped,
+		},
+	}}
 	for _, e := range events {
 		key := e.Pipeline + "/" + e.Stage
 		tid, ok := tidOf[key]
@@ -309,16 +335,103 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		if e.Bytes > 0 {
 			args["bytes"] = e.Bytes
 		}
+		if e.Xfer != 0 {
+			args["xfer"] = e.Xfer
+		}
+		ts := float64(e.Start) / float64(time.Microsecond)
+		dur := float64(e.End-e.Start) / float64(time.Microsecond)
+		tid := tidOf[e.Pipeline+"/"+e.Stage]
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: e.Stage,
 			Cat:  e.Kind.String(),
 			Ph:   "X",
-			Ts:   float64(e.Start) / float64(time.Microsecond),
-			Dur:  float64(e.End-e.Start) / float64(time.Microsecond),
+			Ts:   ts,
+			Dur:  dur,
 			Pid:  pid,
-			Tid:  tidOf[e.Pipeline+"/"+e.Stage],
+			Tid:  tid,
 			Args: args,
 		})
+		if e.Kind == EventComm && e.Xfer != 0 {
+			flow := chromeEvent{
+				Name: "xfer",
+				Cat:  "comm",
+				Ts:   ts + dur,
+				Pid:  pid,
+				Tid:  tid,
+				ID:   strconv.FormatInt(e.Xfer, 10),
+			}
+			switch {
+			case strings.HasSuffix(e.Stage, "send"):
+				flow.Ph = "s"
+			case strings.HasSuffix(e.Stage, "recv"):
+				flow.Ph = "f"
+				flow.Bp = "e"
+			default:
+				continue
+			}
+			out.TraceEvents = append(out.TraceEvents, flow)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// MergeChromeTraces merges per-node Chrome trace files (as written by
+// WriteChromeTrace or FlightRecorder.WriteChromeTrace) into one document on
+// a single aligned timeline: each input becomes one named process, and
+// every input's timestamps are shifted by the difference between its
+// recording epoch (read from its fg_trace_meta event) and the earliest
+// epoch among the inputs. Transfer-ID flow events recorded on different
+// nodes keep their IDs, so a send on one node links to its receive on
+// another — a dsort run reads as one cluster-wide Gantt.
+func MergeChromeTraces(w io.Writer, inputs ...io.Reader) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	out.TraceEvents = []chromeEvent{}
+	type parsed struct {
+		trace chromeTrace
+		epoch int64 // UnixNano; 0 when the input has no fg_trace_meta
+	}
+	var traces []parsed
+	minEpoch := int64(0)
+	for i, in := range inputs {
+		var t chromeTrace
+		if err := json.NewDecoder(in).Decode(&t); err != nil {
+			return fmt.Errorf("fg: merge traces: input %d: %w", i, err)
+		}
+		p := parsed{trace: t}
+		for _, e := range t.TraceEvents {
+			if e.Ph == "M" && e.Name == traceMetaName {
+				if v, ok := e.Args["epoch_unix_nano"].(float64); ok {
+					p.epoch = int64(v)
+				}
+				break
+			}
+		}
+		if p.epoch != 0 && (minEpoch == 0 || p.epoch < minEpoch) {
+			minEpoch = p.epoch
+		}
+		traces = append(traces, p)
+	}
+	for i, p := range traces {
+		pid := i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", i)},
+		})
+		var shift float64 // microseconds to add to this input's timestamps
+		if p.epoch != 0 && minEpoch != 0 {
+			shift = float64(p.epoch-minEpoch) / float64(time.Microsecond)
+		}
+		for _, e := range p.trace.TraceEvents {
+			e.Pid = pid
+			if e.Ph != "M" {
+				e.Ts += shift
+			}
+			out.TraceEvents = append(out.TraceEvents, e)
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

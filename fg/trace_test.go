@@ -212,12 +212,14 @@ func TestWriteChromeTrace(t *testing.T) {
 	for _, ev := range decoded.TraceEvents {
 		switch ev.Ph {
 		case "M":
-			if ev.Name != "thread_name" {
-				t.Errorf("metadata event %q, want thread_name", ev.Name)
+			if ev.Name != "thread_name" && ev.Name != "fg_trace_meta" {
+				t.Errorf("metadata event %q, want thread_name or fg_trace_meta", ev.Name)
 			}
 			if n, ok := ev.Args["name"].(string); ok {
 				names[n] = true
 			}
+		case "s", "f":
+			// Flow events carry the transfer link; ts order applies to X only.
 		case "X":
 			xEvents++
 			cats[ev.Cat] = true

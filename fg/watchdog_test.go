@@ -1,0 +1,248 @@
+package fg
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogSlowStageDoesNotFire is the false-positive boundary: a stage
+// that is merely slow — every round well under StallAfter — must never
+// trigger the watchdog, because rounds keep completing and global progress
+// never pauses for StallAfter.
+func TestWatchdogSlowStageDoesNotFire(t *testing.T) {
+	nw := NewNetwork("slowpoke")
+	p := nw.AddPipeline("main", Buffers(2), Rounds(10))
+	p.AddStage("slow", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	dog := nw.Watch(WatchdogConfig{
+		Interval:   5 * time.Millisecond,
+		StallAfter: 2 * time.Second, // far above any single round
+		OnStall: func(r StallReport) {
+			t.Errorf("watchdog fired on a slow but progressing network:\n%s", r)
+		},
+	})
+	defer dog.Stop()
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dog.Fired(); got != 0 {
+		t.Errorf("watchdog fired %d times on a healthy run", got)
+	}
+}
+
+// TestWatchdogDetectsHangAndNamesCulprit is the true-positive boundary: a
+// stage that blocks forever inside its function must be reported promptly
+// (StallAfter plus a couple of sampling intervals) as the blocked-on-put
+// culprit, and the watchdog must fire exactly once for the episode.
+func TestWatchdogDetectsHangAndNamesCulprit(t *testing.T) {
+	const (
+		interval   = 25 * time.Millisecond
+		stallAfter = 150 * time.Millisecond
+	)
+	release := make(chan struct{})
+	var hungAt atomic.Int64 // UnixNano; written by the stage, read after the report
+	nw := NewNetwork("hangnet")
+	p := nw.AddPipeline("main", Buffers(2), Rounds(4))
+	p.AddStage("up", func(ctx *Ctx, b *Buffer) error { return nil })
+	p.AddStage("stuck", func(ctx *Ctx, b *Buffer) error {
+		if b.Round == 1 {
+			hungAt.Store(time.Now().UnixNano())
+			<-release
+		}
+		return nil
+	})
+	reports := make(chan StallReport, 8)
+	dog := nw.Watch(WatchdogConfig{
+		Interval:   interval,
+		StallAfter: stallAfter,
+		OnStall: func(r StallReport) {
+			select {
+			case reports <- r:
+			default:
+			}
+		},
+	})
+	defer dog.Stop()
+
+	done := make(chan error, 1)
+	go func() { done <- nw.Run() }()
+
+	var rep StallReport
+	select {
+	case rep = <-reports:
+	case <-time.After(10 * time.Second):
+		close(release)
+		t.Fatal("watchdog never reported the hung network")
+	}
+	detected := time.Since(time.Unix(0, hungAt.Load()))
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("run failed after release: %v", err)
+	}
+
+	if rep.Network != "hangnet" {
+		t.Errorf("report names network %q, want hangnet", rep.Network)
+	}
+	if rep.Culprit != "stuck" || rep.CulpritPipeline != "main" {
+		t.Errorf("culprit = %q on %q, want stuck on main\n%s", rep.Culprit, rep.CulpritPipeline, rep)
+	}
+	if rep.Reason == "" {
+		t.Error("report has no reason")
+	}
+	if rep.Stalled < stallAfter {
+		t.Errorf("reported stall %v is under StallAfter %v", rep.Stalled, stallAfter)
+	}
+	var stuck *StageHealth
+	for i := range rep.Stages {
+		if rep.Stages[i].Stage == "stuck" {
+			stuck = &rep.Stages[i]
+		}
+	}
+	if stuck == nil {
+		t.Fatalf("report has no entry for the hung stage: %+v", rep.Stages)
+	}
+	if stuck.State != HealthBlockedOnPut {
+		t.Errorf("hung stage classified %q, want %q", stuck.State, HealthBlockedOnPut)
+	}
+	// The design bound is StallAfter + 2*Interval; allow generous scheduler
+	// slack so a loaded CI box does not flake, while still catching a
+	// watchdog that is an order of magnitude late.
+	if bound := stallAfter + 2*interval + 2*time.Second; detected > bound {
+		t.Errorf("stall detected after %v, want within %v", detected, bound)
+	}
+	if got := dog.Fired(); got != 1 {
+		t.Errorf("watchdog fired %d times for one stall episode, want 1", got)
+	}
+	if !strings.Contains(rep.String(), "stuck") {
+		t.Errorf("rendered report does not mention the culprit:\n%s", rep)
+	}
+}
+
+// TestWatchdogGoroutineExcerptIsLabelFiltered checks that the report's
+// goroutine dump carries this network's labeled stage goroutines and not
+// unrelated ones.
+func TestWatchdogGoroutineExcerptIsLabelFiltered(t *testing.T) {
+	release := make(chan struct{})
+	nw := NewNetwork("dumped")
+	p := nw.AddPipeline("main", Buffers(1), Rounds(2))
+	p.AddStage("wedge", func(ctx *Ctx, b *Buffer) error {
+		<-release
+		return nil
+	})
+	reports := make(chan StallReport, 1)
+	dog := nw.Watch(WatchdogConfig{
+		Interval:   10 * time.Millisecond,
+		StallAfter: 50 * time.Millisecond,
+		OnStall: func(r StallReport) {
+			select {
+			case reports <- r:
+			default:
+			}
+		},
+	})
+	defer dog.Stop()
+	done := make(chan error, 1)
+	go func() { done <- nw.Run() }()
+	var rep StallReport
+	select {
+	case rep = <-reports:
+	case <-time.After(10 * time.Second):
+		close(release)
+		t.Fatal("no stall report")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goroutines == "" {
+		t.Fatal("report carries no goroutine excerpt")
+	}
+	if !strings.Contains(rep.Goroutines, "dumped") {
+		t.Errorf("excerpt does not mention the network's label:\n%s", rep.Goroutines)
+	}
+}
+
+// TestClassifyStages exercises the state taxonomy on a synthetic snapshot:
+// parks longer than the threshold are blocked, shorter ones are running,
+// and idle/done pass through.
+func TestClassifyStages(t *testing.T) {
+	st := NetworkStats{Stages: []StageStats{
+		{Stage: "a", Pipeline: "p", State: StageWorking, InState: 2 * time.Second},
+		{Stage: "b", Pipeline: "p", State: StageWorking, InState: 10 * time.Millisecond},
+		{Stage: "c", Pipeline: "p", State: StageAccepting, InState: 2 * time.Second},
+		{Stage: "d", Pipeline: "p", State: StageAccepting, InState: time.Millisecond},
+		{Stage: "e", Pipeline: "p", State: StageDone},
+		{Stage: "f", Pipeline: "p", State: StageIdle},
+	}}
+	hs := classifyStages(st, time.Second)
+	want := []string{HealthBlockedOnPut, HealthRunning, HealthBlockedOnGet, HealthRunning, HealthDone, HealthIdle}
+	for i, w := range want {
+		if hs[i].State != w {
+			t.Errorf("stage %s classified %q, want %q", hs[i].Stage, hs[i].State, w)
+		}
+	}
+}
+
+// TestDiagnose checks culprit selection and the starved refinement: the
+// furthest-upstream blocked-on-put stage wins, and blocked-on-get stages
+// downstream of it on the same pipeline become starved.
+func TestDiagnose(t *testing.T) {
+	hs := []StageHealth{
+		{Stage: "src", Pipeline: "p", State: HealthBlockedOnGet},
+		{Stage: "mid", Pipeline: "p", State: HealthBlockedOnPut},
+		{Stage: "down", Pipeline: "p", State: HealthBlockedOnGet},
+		{Stage: "other", Pipeline: "q", State: HealthBlockedOnGet},
+	}
+	i, reason := diagnose(hs)
+	if i != 1 || hs[i].Stage != "mid" {
+		t.Fatalf("culprit index %d (%+v), want the blocked-on-put stage", i, hs)
+	}
+	if reason == "" {
+		t.Error("no reason given")
+	}
+	if hs[2].State != HealthStarved {
+		t.Errorf("downstream same-pipeline stage is %q, want starved", hs[2].State)
+	}
+	if hs[3].State != HealthBlockedOnGet {
+		t.Errorf("other pipeline's stage was refined to %q; starved only applies within the culprit's pipeline", hs[3].State)
+	}
+	if hs[0].State != HealthBlockedOnGet {
+		t.Errorf("upstream stage was refined to %q; starved only applies downstream", hs[0].State)
+	}
+
+	// With nothing blocked-on-put, the first blocked-on-get is the suspect
+	// (its input stopped arriving).
+	hs2 := []StageHealth{
+		{Stage: "a", Pipeline: "p", State: HealthRunning},
+		{Stage: "b", Pipeline: "p", State: HealthBlockedOnGet},
+	}
+	if i, _ := diagnose(hs2); i != 1 {
+		t.Errorf("fallback culprit index %d, want 1", i)
+	}
+
+	// All healthy: no culprit.
+	hs3 := []StageHealth{{Stage: "a", Pipeline: "p", State: HealthRunning}}
+	if i, _ := diagnose(hs3); i != -1 {
+		t.Errorf("healthy snapshot produced culprit index %d", i)
+	}
+}
+
+// TestWatchdogStopIsIdempotent double-stops and stops after the run ended.
+func TestWatchdogStopIsIdempotent(t *testing.T) {
+	nw := NewNetwork("stopped")
+	p := nw.AddPipeline("main", Rounds(1))
+	p.AddStage("s", func(ctx *Ctx, b *Buffer) error { return nil })
+	dog := nw.Watch(WatchdogConfig{Interval: 5 * time.Millisecond, StallAfter: time.Hour})
+	if err := nw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dog.Stop()
+	dog.Stop()
+	if dog.Fired() != 0 {
+		t.Error("watchdog fired on a healthy run")
+	}
+}

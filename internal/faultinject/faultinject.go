@@ -30,6 +30,13 @@ type Config struct {
 	// Latency is added to every candidate operation, injected fault or not,
 	// by sleeping in the caller.
 	Latency time.Duration
+	// HangOn, if positive, hangs the HangOn-th candidate operation (1-based,
+	// counted across the whole cluster): the calling goroutine blocks inside
+	// the hook until Release is called, then the operation proceeds
+	// normally. This simulates the silent-stall failure mode — a send or
+	// disk op that neither completes nor errors — which a watchdog must
+	// detect. Exactly one operation hangs per injector.
+	HangOn int64
 }
 
 // A Fault is an injected error. It is transient by construction: retrying
@@ -54,6 +61,10 @@ type Injector struct {
 	rng      *rand.Rand
 	ops      int64
 	injected int64
+	hung     int64
+
+	hang        chan struct{}
+	releaseOnce sync.Once
 }
 
 // New builds an injector from cfg.
@@ -62,27 +73,58 @@ func New(cfg Config) *Injector {
 	if seed == 0 {
 		seed = 0x600df00d
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &Injector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		hang: make(chan struct{}),
+	}
 }
 
 // Op records one candidate operation and decides its fate: it sleeps the
-// configured latency, then returns an injected *Fault or nil.
+// configured latency, hangs if this is the HangOn-th candidate (until
+// Release), then returns an injected *Fault or nil.
 func (in *Injector) Op(op string) error {
 	if in.cfg.Latency > 0 {
 		time.Sleep(in.cfg.Latency)
 	}
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.ops++
+	hangNow := in.cfg.HangOn > 0 && in.ops == in.cfg.HangOn
+	if hangNow {
+		in.hung++
+	}
 	fail := in.injected < int64(in.cfg.FailN)
 	if !fail && in.cfg.ErrProb > 0 {
 		fail = in.rng.Float64() < in.cfg.ErrProb
 	}
+	if fail {
+		in.injected++
+	}
+	seq := in.injected
+	in.mu.Unlock()
+	if hangNow {
+		// Block outside the lock so the rest of the cluster keeps going (and
+		// hanging, as the stall propagates) while this goroutine is stuck.
+		<-in.hang
+	}
 	if !fail {
 		return nil
 	}
-	in.injected++
-	return &Fault{Op: op, Seq: in.injected}
+	return &Fault{Op: op, Seq: seq}
+}
+
+// Release unblocks a goroutine hung by HangOn; the hung operation then
+// proceeds normally, so a released run can complete and be verified.
+// Idempotent, and safe to call even if nothing ever hung.
+func (in *Injector) Release() {
+	in.releaseOnce.Do(func() { close(in.hang) })
+}
+
+// Hung returns how many operations the injector has hung (0 or 1).
+func (in *Injector) Hung() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hung
 }
 
 // Ops returns how many candidate operations the injector has seen.

@@ -120,3 +120,52 @@ func TestLatencyIsAdded(t *testing.T) {
 		t.Errorf("op returned after %v, want >= 20ms", d)
 	}
 }
+
+func TestHangOnBlocksUntilRelease(t *testing.T) {
+	in := New(Config{HangOn: 2})
+	if err := in.Op("write"); err != nil {
+		t.Fatalf("op before the hang point failed: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- in.Op("write") }()
+	select {
+	case err := <-done:
+		t.Fatalf("the HangOn-th op returned (%v) before Release", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := in.Hung(); got != 1 {
+		t.Errorf("Hung = %d while an op is blocked, want 1", got)
+	}
+	in.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("released op failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("op still blocked after Release")
+	}
+	// Later ops pass untouched, the hang fires at most once, and Release
+	// stays idempotent.
+	for i := 0; i < 5; i++ {
+		if err := in.Op("write"); err != nil {
+			t.Fatalf("op after release failed: %v", err)
+		}
+	}
+	if got := in.Hung(); got != 1 {
+		t.Errorf("Hung = %d after release, want 1", got)
+	}
+	in.Release()
+}
+
+func TestReleaseWithoutHangIsSafe(t *testing.T) {
+	in := New(Config{})
+	in.Release()
+	in.Release()
+	if err := in.Op("read"); err != nil {
+		t.Fatalf("op after no-op release failed: %v", err)
+	}
+	if in.Hung() != 0 {
+		t.Errorf("Hung = %d with no HangOn configured", in.Hung())
+	}
+}

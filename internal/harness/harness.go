@@ -63,23 +63,30 @@ func (pr Params) instrument(c *cluster.Cluster) func() {
 		o.Metrics.RegisterFunc(func(emit fg.EmitFunc) { c.EmitMetrics(emit) })
 	}
 	tr := o.Tracer
-	if tr == nil {
+	fr := o.Flight
+	if tr == nil && fr == nil {
 		return func() {}
 	}
 	for i := 0; i < c.P(); i++ {
 		n := c.Node(i)
 		pipe := fmt.Sprintf("node%d", i)
-		n.SetCommObserver(func(op string, peer, nbytes int, start, end time.Time) {
-			s, e := tr.Span(start, end)
-			tr.Record(fg.Event{
+		n.SetCommObserver(func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
+			e := fg.Event{
 				Stage:    "comm." + op,
 				Pipeline: pipe,
 				Kind:     fg.EventComm,
 				Round:    -1,
 				Bytes:    int64(nbytes),
-				Start:    s,
-				End:      e,
-			})
+				Xfer:     xfer,
+			}
+			if tr != nil {
+				e.Start, e.End = tr.Span(start, end)
+				tr.Record(e)
+			}
+			if fr != nil {
+				e.Start, e.End = fr.Span(start, end)
+				fr.Record(e)
+			}
 		})
 	}
 	return func() {

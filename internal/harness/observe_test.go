@@ -3,6 +3,8 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -52,6 +54,8 @@ func decodeChromeTrace(t *testing.T, raw []byte) (rows map[string]bool, kinds ma
 				t.Fatalf("negative duration on %q", ev.Name)
 			}
 			kinds[ev.Cat]++
+		case "s", "f":
+			// Flow events linking a send to its recv; not ts-ordered with X.
 		default:
 			t.Fatalf("unexpected event phase %q", ev.Ph)
 		}
@@ -165,5 +169,65 @@ func TestObserveMetricsAndStats(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("registry scrape missing %s", want)
 		}
+	}
+}
+
+// TestObserveCLITraceOutAtomicWrite drives the CLI observability bundle end
+// to end: the -trace-out file must appear as a complete, valid Chrome trace
+// with no temp-file debris left beside it (the write goes through a temp
+// file and rename).
+func TestObserveCLITraceOutAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	obs, finish, err := ObserveCLI("", path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs == nil || obs.Tracer == nil || obs.Flight == nil {
+		t.Fatalf("bundle incomplete: %+v", obs)
+	}
+	pr := tinyParams()
+	pr.Nodes = 2
+	pr.ColumnsPerNode = 1
+	pr.Observe = obs
+	if _, err := pr.Run(Dsort, workload.Uniform, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	rows, kinds := decodeChromeTrace(t, raw)
+	if len(rows) == 0 || kinds["work"] == 0 || kinds["comm"] == 0 {
+		t.Errorf("trace incomplete: rows=%v kinds=%v", rows, kinds)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "trace.json" {
+			t.Errorf("debris left beside the trace: %s", e.Name())
+		}
+	}
+}
+
+// TestObserveCLIAllOff checks the pay-nothing contract: no flags, no bundle.
+func TestObserveCLIAllOff(t *testing.T) {
+	obs, finish, err := ObserveCLI("", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs != nil {
+		t.Errorf("zero flags built a bundle: %+v", obs)
+	}
+	if finish == nil {
+		t.Fatal("finish is nil")
+	}
+	if err := finish(nil); err != nil {
+		t.Errorf("no-op finish errored: %v", err)
 	}
 }

@@ -1,27 +1,47 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/fg-go/fg/fg"
 )
 
-// ObserveCLI builds the fg.Observe bundle behind the commands' -metrics and
-// -trace-out flags. It returns the bundle (nil when both arguments are
-// empty, so an unobserved run costs nothing) and a finish function that
-// prints node 0's bottleneck reports, writes the Chrome trace file, and
-// stops the metrics server.
+// BlackBoxPath is where ObserveCLI dumps the flight recorder when a run
+// stalls or panics: a Chrome-trace "black box" of the final moments.
+const BlackBoxPath = "fg-blackbox.json"
+
+// ObserveCLI builds the fg.Observe bundle behind the commands' -metrics,
+// -trace-out, -status-addr, and -stall-after flags. It returns the bundle
+// (nil when every argument is zero, so an unobserved run costs nothing) and
+// a finish function taking the run's error; finish prints node 0's
+// bottleneck reports, writes the Chrome trace file, dumps the flight
+// recorder if the run died on a panic, and stops the HTTP servers.
 //
 // metricsAddr, when non-empty, is a host:port to serve Prometheus metrics
 // and expvar on for the duration of the run (":0" picks a free port).
 // traceOut, when non-empty, is the path the Chrome trace-event JSON is
-// written to; load it in chrome://tracing or https://ui.perfetto.dev.
-func ObserveCLI(metricsAddr, traceOut string) (*fg.Observe, func() error, error) {
-	if metricsAddr == "" && traceOut == "" {
-		return nil, func() error { return nil }, nil
+// written to — atomically, via a temp file and rename, so a run killed
+// mid-write never leaves a truncated file; load it in chrome://tracing or
+// https://ui.perfetto.dev. statusAddr, when non-empty, serves the live
+// /status and /status.json endpoints (plus /metrics) on its own address.
+// stallAfter, when positive, arms a progress watchdog on every network: a
+// stretch of stallAfter with no stage completing a round prints a
+// StallReport naming the suspected culprit and dumps the flight recorder
+// to BlackBoxPath.
+//
+// Whenever any flag is set, a flight recorder rides along: the last few
+// thousand events are retained even when full tracing is off, so the black
+// box has something to say.
+func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Duration) (*fg.Observe, func(runErr error) error, error) {
+	if metricsAddr == "" && traceOut == "" && statusAddr == "" && stallAfter <= 0 {
+		return nil, func(error) error { return nil }, nil
 	}
 	o := &fg.Observe{}
 	var mu sync.Mutex
@@ -35,35 +55,82 @@ func ObserveCLI(metricsAddr, traceOut string) (*fg.Observe, func() error, error)
 		reports = append(reports, fmt.Sprintf("%s: %s", st.Name, st.Bottleneck()))
 		mu.Unlock()
 	}
-	var server *fg.MetricsServer
-	if metricsAddr != "" {
-		o.Metrics = fg.NewMetricsRegistry()
+	o.Flight = fg.NewFlightRecorder(0)
+	var servers []*fg.MetricsServer
+	closeServers := func() error {
 		var err error
-		server, err = o.Metrics.Serve(metricsAddr)
+		for _, s := range servers {
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	if metricsAddr != "" || statusAddr != "" {
+		o.Metrics = fg.NewMetricsRegistry()
+	}
+	if metricsAddr != "" {
+		server, err := o.Metrics.Serve(metricsAddr)
 		if err != nil {
 			return nil, nil, err
 		}
+		servers = append(servers, server)
 		fmt.Printf("serving metrics on http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", server.Addr())
+	}
+	if statusAddr != "" && statusAddr != metricsAddr {
+		server, err := o.Metrics.Serve(statusAddr)
+		if err != nil {
+			_ = closeServers()
+			return nil, nil, err
+		}
+		servers = append(servers, server)
+		fmt.Printf("serving live status on http://%s/status (text) and /status.json\n", server.Addr())
+	} else if statusAddr != "" {
+		fmt.Printf("live status shares the metrics address: /status and /status.json\n")
 	}
 	if traceOut != "" {
 		o.Tracer = fg.NewTracer(1 << 21)
 	}
-	finish := func() error {
+	writeBlackBox := func(why string) {
+		err := writeFileAtomic(BlackBoxPath, func(w io.Writer) error {
+			return o.Flight.WriteChromeTrace(w)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "black box write failed: %v\n", err)
+			return
+		}
+		fmt.Printf("black box (%s) written to %s: last %d events; load it in chrome://tracing\n",
+			why, BlackBoxPath, o.Flight.Len())
+	}
+	if stallAfter > 0 {
+		interval := stallAfter / 4
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		o.Watchdog = &fg.WatchdogConfig{
+			Interval:   interval,
+			StallAfter: stallAfter,
+			OnStall: func(rep fg.StallReport) {
+				fmt.Fprint(os.Stderr, rep.String())
+				mu.Lock()
+				writeBlackBox("stall")
+				mu.Unlock()
+			},
+		}
+	}
+	finish := func(runErr error) error {
 		mu.Lock()
 		for _, r := range reports {
 			fmt.Println(r)
 		}
+		var pe *fg.PanicError
+		if errors.As(runErr, &pe) {
+			writeBlackBox("panic in stage " + pe.Stage)
+		}
 		mu.Unlock()
 		if o.Tracer != nil {
-			f, err := os.Create(traceOut)
-			if err != nil {
-				return err
-			}
-			if err := o.Tracer.WriteChromeTrace(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeFileAtomic(traceOut, o.Tracer.WriteChromeTrace); err != nil {
+				_ = closeServers()
 				return err
 			}
 			fmt.Printf("trace written to %s (%d events", traceOut, len(o.Tracer.Events()))
@@ -72,10 +139,27 @@ func ObserveCLI(metricsAddr, traceOut string) (*fg.Observe, func() error, error)
 			}
 			fmt.Println("); load it in chrome://tracing or https://ui.perfetto.dev")
 		}
-		if server != nil {
-			return server.Close()
-		}
-		return nil
+		return closeServers()
 	}
 	return o, finish, nil
+}
+
+// writeFileAtomic writes via a temp file in the target's directory and
+// renames it into place, so readers never see a partial file and a killed
+// writer never leaves a truncated one.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
