@@ -1,37 +1,25 @@
 package cluster
 
-import (
-	"fmt"
-	"time"
-)
-
 // Any-source receives, the analogue of MPI_Recv with MPI_ANY_SOURCE.
 // dsort's receive stages cannot know which node will send next — the whole
 // point of its unbalanced communication — so they pull from a per-tag
 // mailbox that merges all senders.
-
-// anyMessage is a payload with its source rank and transfer ID attached.
-type anyMessage struct {
-	src  int
-	xfer int64
-	data []byte
-}
 
 type anyMailboxKey struct {
 	tag int64
 }
 
 // anyMailbox returns (creating if needed) the any-source channel for tag.
-func (n *Node) anyMailbox(tag int64) chan anyMessage {
+func (n *Node) anyMailbox(tag int64) chan message {
 	n.anyMu.Lock()
 	defer n.anyMu.Unlock()
 	if n.anyBoxes == nil {
-		n.anyBoxes = make(map[anyMailboxKey]chan anyMessage)
+		n.anyBoxes = make(map[anyMailboxKey]chan message)
 	}
 	key := anyMailboxKey{tag}
 	mb := n.anyBoxes[key]
 	if mb == nil {
-		mb = make(chan anyMessage, n.cluster.cfg.MailboxDepth)
+		mb = make(chan message, n.cluster.cfg.MailboxDepth)
 		n.anyBoxes[key] = mb
 	}
 	return mb
@@ -41,53 +29,13 @@ func (n *Node) anyMailbox(tag int64) chan anyMessage {
 // Messages sent with SendAny are received only by RecvAny; they do not mix
 // with Send/Recv traffic.
 func (n *Node) SendAny(dst int, tag int64, data []byte) {
-	if dst < 0 || dst >= n.P() {
-		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
-	}
-	n.checkFault("send", dst, len(data))
-	msg := make([]byte, len(data))
-	copy(msg, data)
-	xfer := n.cluster.transferSeq.Add(1)
-
-	start := time.Now()
-	if dst != n.rank {
-		cost := n.cluster.cfg.Network.Cost(len(data))
-		n.nic.Charge(cost)
-		n.stats.sendBusy.Add(int64(cost))
-	}
-	n.stats.msgsSent.Add(1)
-	n.stats.bytesSent.Add(int64(len(data)))
-
-	n.stats.sendsBlocked.Add(1)
-	select {
-	case n.cluster.nodes[dst].anyMailbox(tag) <- anyMessage{src: n.rank, xfer: xfer, data: msg}:
-	case <-n.cluster.aborted:
-		n.stats.sendsBlocked.Add(-1)
-		n.abortPanic("send", dst)
-	}
-	n.stats.sendsBlocked.Add(-1)
-	n.stats.sendWait.Add(int64(time.Since(start)))
-	n.observe("send", dst, len(data), xfer, start)
+	n.sendFrame(dst, tag, true, data)
 }
 
 // RecvAny blocks until any node's SendAny for this tag arrives, returning
 // the sender's rank and the payload.
 func (n *Node) RecvAny(tag int64) (src int, data []byte) {
-	n.checkFault("recv", -1, 0)
-	start := time.Now()
-	var msg anyMessage
-	n.stats.recvsBlocked.Add(1)
-	select {
-	case msg = <-n.anyMailbox(tag):
-	case <-n.cluster.aborted:
-		n.stats.recvsBlocked.Add(-1)
-		n.abortPanic("recv", -1)
-	}
-	n.stats.recvsBlocked.Add(-1)
-	n.stats.msgsRecvd.Add(1)
-	n.stats.bytesRecvd.Add(int64(len(msg.data)))
-	n.stats.recvWait.Add(int64(time.Since(start)))
-	n.observe("recv", -1, len(msg.data), msg.xfer, start)
+	msg := n.recvFrame(n.anyMailbox(tag), -1)
 	return msg.src, msg.data
 }
 

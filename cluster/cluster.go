@@ -84,70 +84,147 @@ var DefaultNetworkModel = NetworkModel{
 	BytesPerSecond: 250e6,
 }
 
-// Config describes a simulated cluster.
+// Config describes a cluster job.
 type Config struct {
 	// Nodes is P, the number of nodes.
 	Nodes int
 	// Disk is the cost model for every node's disk.
 	Disk pdm.DiskModel
-	// Network is the interconnect cost model.
+	// Network is the interconnect cost model. It applies to the in-process
+	// transport only; over TCP the wire's own latency is the cost.
 	Network NetworkModel
 	// MailboxDepth bounds how many undelivered messages one (source, tag)
 	// mailbox buffers before further sends to it block. Zero selects a
 	// generous default.
 	MailboxDepth int
+	// Transport selects how inter-rank messages move. The zero value keeps
+	// the in-process backend (channel mailboxes plus the simulated
+	// interconnect); see TransportConfig for the TCP backend, which can
+	// split the job's ranks across OS processes.
+	Transport TransportConfig
 }
 
 const defaultMailboxDepth = 1024
 
-// A Cluster is a set of simulated nodes sharing an interconnect.
+// A Cluster is one process's view of a cluster job: the nodes this process
+// hosts, plus a transport that reaches the rest. With the in-process
+// transport (the default) every rank is local and the interconnect is
+// simulated; with the TCP transport ranks may be spread across processes.
 type Cluster struct {
-	cfg   Config
-	nodes []*Node
+	cfg       Config
+	nodes     []*Node // indexed by rank; nil for ranks hosted elsewhere
+	local     []*Node // the non-nil entries of nodes, in rank order
+	transport Transport
 
-	// transferSeq assigns cluster-wide monotonic transfer IDs: every Send
-	// or SendAny takes the next one, and the matching Recv observes the
-	// same ID, so traces recorded on different nodes can be correlated
-	// transfer by transfer (see fg.MergeChromeTraces).
+	// transferSeq assigns cluster-wide monotonic transfer IDs for the
+	// in-process transport: every Send or SendAny takes the next one, and
+	// the matching Recv observes the same ID, so traces recorded on
+	// different nodes can be correlated transfer by transfer (see
+	// fg.MergeChromeTraces). The TCP transport mints its own IDs (salted by
+	// source rank) because processes cannot share one atomic.
 	transferSeq atomic.Int64
 
 	abortOnce sync.Once
 	aborted   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New builds a cluster of cfg.Nodes nodes. It panics if cfg.Nodes < 1.
-func New(cfg Config) *Cluster {
+// Open builds a cluster of cfg.Nodes nodes and starts its transport. With
+// the TCP transport in multi-process form (TransportConfig.Peers set) the
+// returned cluster hosts only rank cfg.Transport.Rank; otherwise it hosts
+// all ranks. Callers of communication methods on remote ranks' nodes will
+// find Node(i) == nil. Close the cluster when done.
+func Open(cfg Config) (*Cluster, error) {
 	if cfg.Nodes < 1 {
-		panic(fmt.Sprintf("cluster: invalid node count %d", cfg.Nodes))
+		return nil, fmt.Errorf("cluster: invalid node count %d", cfg.Nodes)
 	}
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = defaultMailboxDepth
 	}
-	c := &Cluster{cfg: cfg, aborted: make(chan struct{})}
+	ranks, err := cfg.Transport.localRanks(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := newTransport(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, transport: tr, aborted: make(chan struct{})}
 	c.nodes = make([]*Node, cfg.Nodes)
-	for i := range c.nodes {
-		c.nodes[i] = &Node{
-			rank:      i,
+	for _, r := range ranks {
+		n := &Node{
+			rank:      r,
 			cluster:   c,
 			Disk:      pdm.NewDisk(cfg.Disk),
 			mailboxes: make(map[mailboxKey]chan message),
 		}
+		c.nodes[r] = n
+		c.local = append(c.local, n)
+	}
+	if err := tr.Start(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// New builds a cluster of cfg.Nodes nodes, panicking on a bad config —
+// the original constructor, still the right call for all-local clusters
+// whose configs are correct by construction. See Open for error returns.
+func New(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
 
-// P returns the number of nodes.
+// P returns the number of nodes in the whole job, local or not.
 func (c *Cluster) P() int { return c.cfg.Nodes }
 
-// Node returns node i.
+// Node returns node i, or nil if rank i is hosted by another process.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
+// Local returns the nodes this process hosts, in rank order. With the
+// in-process transport that is every node; in a multi-process TCP job it
+// is the one rank this process runs.
+func (c *Cluster) Local() []*Node { return c.local }
+
+// AllLocal reports whether this process hosts every rank of the job —
+// true for the in-process transport and for all-local TCP clusters, false
+// in multi-process form. Tools that inspect the whole machine from outside
+// (whole-output verification, cross-node stat aggregation) require it.
+func (c *Cluster) AllLocal() bool { return len(c.local) == len(c.nodes) }
+
+// Aborted reports whether the job has been aborted.
+func (c *Cluster) Aborted() bool {
+	select {
+	case <-c.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the cluster's transport down: listeners, connections, and
+// every transport goroutine. It is idempotent. In-process clusters have
+// nothing to release, so existing callers that never Close stay correct;
+// TCP clusters should always be closed.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.transport.Close() })
+	return c.closeErr
+}
+
 // Disks returns the nodes' disks indexed by rank, for tools and verifiers
-// that inspect the whole simulated machine from outside.
+// that inspect the whole simulated machine from outside. Ranks hosted by
+// other processes have nil entries; see AllLocal.
 func (c *Cluster) Disks() []*pdm.Disk {
 	out := make([]*pdm.Disk, len(c.nodes))
 	for i, n := range c.nodes {
-		out[i] = n.Disk
+		if n != nil {
+			out[i] = n.Disk
+		}
 	}
 	return out
 }
@@ -157,9 +234,14 @@ func (c *Cluster) Disks() []*pdm.Disk {
 // wrapping ErrAborted. Inside an FG network that panic becomes a clean
 // stage error, so each node's Network.Run returns promptly instead of
 // waiting forever for a failed peer's messages. Abort is idempotent.
-// Cluster.Run calls it automatically when any node's function fails.
+// Cluster.Run calls it automatically when any node's function fails. In a
+// multi-process job the abort is propagated (best-effort) to the peers, so
+// their blocked operations are released too.
 func (c *Cluster) Abort() {
-	c.abortOnce.Do(func() { close(c.aborted) })
+	c.abortOnce.Do(func() {
+		close(c.aborted)
+		c.transport.PropagateAbort()
+	})
 }
 
 // abortPanic raises the panic for an operation killed by Abort.
@@ -167,16 +249,19 @@ func (n *Node) abortPanic(op string, peer int) {
 	panic(&CommError{Op: op, Rank: n.rank, Peer: peer, Err: ErrAborted})
 }
 
-// Run executes fn once per node, each invocation on its own goroutine, and
-// waits for all of them. A panic on a node goroutine is recovered and
-// reported as that node's error. The first failing node aborts the whole
-// job (see Abort) so that no peer blocks forever on its messages; Run then
-// returns the lowest-ranked error that is a root cause — one not itself
-// produced by the abort — falling back to the first error of any kind.
+// Run executes fn once per local node, each invocation on its own
+// goroutine, and waits for all of them. A panic on a node goroutine is
+// recovered and reported as that node's error. The first failing node
+// aborts the whole job (see Abort) so that no peer blocks forever on its
+// messages; Run then returns the lowest-ranked error that is a root cause
+// — one not itself produced by the abort — falling back to the first error
+// of any kind. In a multi-process job each process's Run covers only the
+// ranks it hosts.
 func (c *Cluster) Run(fn func(*Node) error) error {
 	errs := make([]error, len(c.nodes))
 	var wg sync.WaitGroup
-	for i, n := range c.nodes {
+	for _, n := range c.local {
+		i := n.rank
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
@@ -279,7 +364,7 @@ type Node struct {
 	obs   atomic.Pointer[CommObserver]
 
 	anyMu    sync.Mutex
-	anyBoxes map[anyMailboxKey]chan anyMessage
+	anyBoxes map[anyMailboxKey]chan message
 
 	nic pdm.CostGate // serializes simulated transmit time, one NIC per node
 }
@@ -289,9 +374,11 @@ type mailboxKey struct {
 	tag int64
 }
 
-// message is one mailbox entry: the payload plus the transfer ID assigned
-// at the send, which rides along so the receiver observes the same ID.
+// message is one mailbox entry: the payload plus the source rank (needed
+// by any-source receives) and the transfer ID assigned at the send, which
+// rides along so the receiver observes the same ID.
 type message struct {
+	src  int
 	xfer int64
 	data []byte
 }
@@ -392,37 +479,105 @@ func (n *Node) mailbox(src int, tag int64) chan message {
 	return mb
 }
 
-// Send transmits a copy of data to node dst with the given tag. It blocks
-// for the simulated transfer duration (self-sends are free, as through
-// shared memory). After Send returns the caller may reuse data.
-func (n *Node) Send(dst int, tag int64, data []byte) {
+// deliverLocal places a frame in the destination node's mailbox, blocking
+// until the mailbox has room (the receiver-side backpressure every
+// transport shares). It returns ErrAborted if the job aborts first, or
+// errTransportClosed if the optional cancel channel closes first — the TCP
+// transport passes its shutdown channel so Close can release readers
+// parked on a full mailbox; the in-process transport passes nil.
+func (c *Cluster) deliverLocal(f Frame, cancel <-chan struct{}) error {
+	dst := c.nodes[f.Dst]
+	if dst == nil {
+		return fmt.Errorf("cluster: rank %d is not hosted by this process", f.Dst)
+	}
+	var mb chan message
+	if f.Any {
+		mb = dst.anyMailbox(f.Tag)
+	} else {
+		mb = dst.mailbox(f.Src, f.Tag)
+	}
+	m := message{src: f.Src, xfer: f.Xfer, data: f.Data}
+	if cancel == nil {
+		select {
+		case mb <- m:
+			return nil
+		case <-c.aborted:
+			return ErrAborted
+		}
+	}
+	select {
+	case mb <- m:
+		return nil
+	case <-c.aborted:
+		return ErrAborted
+	case <-cancel:
+		return errTransportClosed
+	}
+}
+
+// sendFrame is the shared body of Send and SendAny: fault check, abort
+// preflight, copy, transfer-ID mint, transport delivery, stats, observer.
+func (n *Node) sendFrame(dst int, tag int64, any bool, data []byte) {
 	if dst < 0 || dst >= n.P() {
 		panic(fmt.Sprintf("cluster: node %d sending to invalid rank %d", n.rank, dst))
 	}
 	n.checkFault("send", dst, len(data))
+	// Abort preflight: a send attempted after the job aborted must fail
+	// deterministically rather than race the abort against a mailbox that
+	// still has room.
+	if n.cluster.Aborted() {
+		n.abortPanic("send", dst)
+	}
 	msg := make([]byte, len(data))
 	copy(msg, data)
-	xfer := n.cluster.transferSeq.Add(1)
+	tr := n.cluster.transport
+	xfer := tr.NextXfer(n.rank)
 
 	start := time.Now()
-	if dst != n.rank {
-		cost := n.cluster.cfg.Network.Cost(len(data))
-		n.nic.Charge(cost)
-		n.stats.sendBusy.Add(int64(cost))
+	err := tr.Deliver(Frame{Src: n.rank, Dst: dst, Tag: tag, Xfer: xfer, Any: any, Data: msg})
+	if err != nil {
+		if errors.Is(err, ErrAborted) {
+			n.abortPanic("send", dst)
+		}
+		panic(&CommError{Op: "send", Rank: n.rank, Peer: dst, Err: err})
 	}
 	n.stats.msgsSent.Add(1)
 	n.stats.bytesSent.Add(int64(len(data)))
-
-	n.stats.sendsBlocked.Add(1)
-	select {
-	case n.cluster.nodes[dst].mailbox(n.rank, tag) <- message{xfer: xfer, data: msg}:
-	case <-n.cluster.aborted:
-		n.stats.sendsBlocked.Add(-1)
-		n.abortPanic("send", dst)
-	}
-	n.stats.sendsBlocked.Add(-1)
 	n.stats.sendWait.Add(int64(time.Since(start)))
 	n.observe("send", dst, len(data), xfer, start)
+}
+
+// recvFrame is the shared body of Recv and RecvAny. peer is the reported
+// peer rank: src for point-to-point, -1 for any-source.
+func (n *Node) recvFrame(mb chan message, peer int) message {
+	n.checkFault("recv", peer, 0)
+	if n.cluster.Aborted() {
+		n.abortPanic("recv", peer)
+	}
+	start := time.Now()
+	var msg message
+	n.stats.recvsBlocked.Add(1)
+	select {
+	case msg = <-mb:
+	case <-n.cluster.aborted:
+		n.stats.recvsBlocked.Add(-1)
+		n.abortPanic("recv", peer)
+	}
+	n.stats.recvsBlocked.Add(-1)
+	n.stats.msgsRecvd.Add(1)
+	n.stats.bytesRecvd.Add(int64(len(msg.data)))
+	n.stats.recvWait.Add(int64(time.Since(start)))
+	n.observe("recv", peer, len(msg.data), msg.xfer, start)
+	return msg
+}
+
+// Send transmits a copy of data to node dst with the given tag. It blocks
+// until the message is accepted for delivery: on the in-process transport
+// that includes the simulated transfer duration (self-sends are free, as
+// through shared memory); over TCP it includes any wait for the in-flight
+// byte budget. After Send returns the caller may reuse data.
+func (n *Node) Send(dst int, tag int64, data []byte) {
+	n.sendFrame(dst, tag, false, data)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -431,22 +586,7 @@ func (n *Node) Recv(src int, tag int64) []byte {
 	if src < 0 || src >= n.P() {
 		panic(fmt.Sprintf("cluster: node %d receiving from invalid rank %d", n.rank, src))
 	}
-	n.checkFault("recv", src, 0)
-	start := time.Now()
-	var msg message
-	n.stats.recvsBlocked.Add(1)
-	select {
-	case msg = <-n.mailbox(src, tag):
-	case <-n.cluster.aborted:
-		n.stats.recvsBlocked.Add(-1)
-		n.abortPanic("recv", src)
-	}
-	n.stats.recvsBlocked.Add(-1)
-	n.stats.msgsRecvd.Add(1)
-	n.stats.bytesRecvd.Add(int64(len(msg.data)))
-	n.stats.recvWait.Add(int64(time.Since(start)))
-	n.observe("recv", src, len(msg.data), msg.xfer, start)
-	return msg.data
+	return n.recvFrame(n.mailbox(src, tag), src).data
 }
 
 // TryRecv returns a pending message from src with the given tag, or
@@ -469,7 +609,7 @@ func (n *Node) TryRecv(src int, tag int64) ([]byte, bool) {
 //
 //	registry.RegisterFunc(func(emit fg.EmitFunc) { c.EmitMetrics(emit) })
 func (c *Cluster) EmitMetrics(emit func(name string, labels map[string]string, value float64)) {
-	for _, n := range c.nodes {
+	for _, n := range c.local {
 		s := n.Stats()
 		l := func() map[string]string {
 			return map[string]string{"node": strconv.Itoa(n.rank)}

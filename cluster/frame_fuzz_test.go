@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameCodec drives the TCP wire codec from both directions. Structured
+// inputs prove the round trip (encode → decode reproduces every field);
+// arbitrary byte strings prove the decoder is total — it either rejects
+// cleanly with a *frameError or accepts a frame whose re-encoding is
+// byte-identical to what it consumed (the canonical-form property, which is
+// what makes "decoder accepts it" a safe definition of "well-formed").
+func FuzzFrameCodec(f *testing.F) {
+	// Structured seeds: kinds, flags, boundary ranks, empty and non-empty
+	// payloads, plus raw junk for the decoder direction.
+	f.Add(appendFrame(nil, frameKindData, Frame{Src: 0, Dst: 1, Tag: 7, Xfer: 1, Data: []byte("hello")}))
+	f.Add(appendFrame(nil, frameKindData, Frame{Src: 3, Dst: 3, Tag: -1, Xfer: 1<<40 | 9, Any: true, Data: nil}))
+	f.Add(appendFrame(nil, frameKindData, Frame{Src: 1<<31 - 1, Dst: 0, Tag: 1 << 62, Xfer: -5, Data: bytes.Repeat([]byte{0xAB}, 300)}))
+	f.Add(appendFrame(nil, frameKindAbort, Frame{Src: 2, Dst: 0}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 26, 3})                           // unknown kind
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0, 0, 0}) // absurd length
+	f.Add(bytes.Repeat([]byte{0}, frameHeaderLen))          // kind 0, all-zero header
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind, fr, n, err := decodeFrame(raw)
+		if err != nil {
+			// A rejected input must not have consumed anything.
+			if n != 0 {
+				t.Fatalf("decode error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < frameHeaderLen || n > len(raw) {
+			t.Fatalf("decoded %d bytes of a %d-byte input", n, len(raw))
+		}
+		// Canonical form: re-encoding the accepted frame reproduces exactly
+		// the bytes the decoder consumed.
+		re := appendFrame(nil, kind, fr)
+		if !bytes.Equal(re, raw[:n]) {
+			t.Fatalf("re-encode mismatch:\n consumed %x\n re-encoded %x", raw[:n], re)
+		}
+		// And the re-encoding decodes back to the same frame (round trip).
+		kind2, fr2, n2, err := decodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if kind2 != kind || n2 != n || fr2.Src != fr.Src || fr2.Dst != fr.Dst ||
+			fr2.Tag != fr.Tag || fr2.Xfer != fr.Xfer || fr2.Any != fr.Any ||
+			!bytes.Equal(fr2.Data, fr.Data) {
+			t.Fatalf("round trip changed the frame: %+v -> %+v", fr, fr2)
+		}
+		// Invariants the transport relies on.
+		if kind == frameKindAbort && len(fr.Data) != 0 {
+			t.Fatal("decoder accepted an abort frame with a payload")
+		}
+		if fr.Src < 0 || fr.Dst < 0 {
+			t.Fatalf("decoder produced negative rank: src=%d dst=%d", fr.Src, fr.Dst)
+		}
+	})
+}

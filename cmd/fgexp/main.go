@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/dsort"
 	"github.com/fg-go/fg/internal/harness"
 	"github.com/fg-go/fg/internal/splitter"
@@ -37,6 +38,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of every run (chrome://tracing, Perfetto)")
 		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
 		stallAfter = flag.Duration("stall-after", 0, "arm a stall watchdog: report and dump a black-box trace after this long with no progress (0 = off)")
+		transport  = flag.String("transport", "inproc", "cluster transport: inproc (goroutines and channels) or tcp (real loopback sockets, all ranks in this process)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,15 @@ func main() {
 		os.Exit(1)
 	}
 	pr.Parallelism = *par
+
+	switch *transport {
+	case "inproc":
+	case "tcp":
+		pr.Transport.Kind = cluster.TransportTCP
+	default:
+		fmt.Fprintf(os.Stderr, "fgexp: unknown -transport %q (want inproc or tcp)\n", *transport)
+		os.Exit(1)
+	}
 
 	trialCount = *trials
 

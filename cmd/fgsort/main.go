@@ -5,14 +5,22 @@
 // Usage:
 //
 //	fgsort -program dsort -nodes 16 -records 20 -dist poisson
+//
+// With -transport tcp the ranks talk over real sockets, and -peers/-rank
+// place each rank in its own OS process:
+//
+//	fgsort -program csort -nodes 2 -transport tcp -rank 0 -peers 127.0.0.1:7000,127.0.0.1:7001 &
+//	fgsort -program csort -nodes 2 -transport tcp -rank 1 -peers 127.0.0.1:7000,127.0.0.1:7001
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
+	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/internal/harness"
 	"github.com/fg-go/fg/workload"
 )
@@ -33,6 +41,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (chrome://tracing, Perfetto)")
 		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
 		stallAfter = flag.Duration("stall-after", 0, "arm a stall watchdog: report and dump a black-box trace after this long with no progress (0 = off)")
+		transport  = flag.String("transport", "inproc", "cluster transport: inproc (goroutines and channels) or tcp (real sockets)")
+		rank       = flag.Int("rank", -1, "with -transport tcp and -peers: this process's rank; each rank runs its own fgsort process")
+		peersArg   = flag.String("peers", "", "with -transport tcp: comma-separated host:port listen address per rank (the same list in every process); empty runs all ranks in-process over loopback")
 	)
 	flag.Parse()
 
@@ -52,6 +63,26 @@ func main() {
 		log.Fatalf("fgsort: -parallelism must be >= 0, got %d", *par)
 	}
 	pr.Parallelism = *par
+
+	switch *transport {
+	case "inproc":
+		if *peersArg != "" || *rank >= 0 {
+			log.Fatal("fgsort: -peers and -rank require -transport tcp")
+		}
+	case "tcp":
+		pr.Transport.Kind = cluster.TransportTCP
+		if *peersArg != "" {
+			pr.Transport.Peers = strings.Split(*peersArg, ",")
+			pr.Transport.Rank = *rank
+			if *rank < 0 {
+				log.Fatal("fgsort: -peers needs -rank to say which address is this process")
+			}
+		} else if *rank >= 0 {
+			log.Fatal("fgsort: -rank without -peers; a single process hosts every rank")
+		}
+	default:
+		log.Fatalf("fgsort: unknown -transport %q (want inproc or tcp)", *transport)
+	}
 
 	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut, *statusAddr, *stallAfter)
 	if err != nil {

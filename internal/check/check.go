@@ -13,8 +13,12 @@ import (
 )
 
 // ReadOutput reassembles the sorted output into one byte slice in global
-// (PDM-striped) order.
+// (PDM-striped) order. It requires every rank's disk in this process; a
+// multi-process job verifies with DistributedOutput instead.
 func ReadOutput(c *cluster.Cluster, s oocsort.Spec) ([]byte, error) {
+	if !c.AllLocal() {
+		return nil, fmt.Errorf("check: ReadOutput needs every rank's disk local; use DistributedOutput")
+	}
 	sf := s.Output(c.P())
 	total := s.TotalBytes()
 	locals := make([][]byte, c.P())

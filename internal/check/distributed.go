@@ -1,0 +1,150 @@
+package check
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/oocsort"
+	"github.com/fg-go/fg/records"
+)
+
+// DistributedOutput verifies a sorted, PDM-striped output without any
+// process ever seeing the whole file — the collective counterpart of
+// Output, for jobs whose ranks span OS processes. Every rank calls it
+// (inside cluster.Run); localIn is the rank's share of the input
+// fingerprint, as returned by oocsort.GenerateInput in that rank's process.
+//
+// Each rank checks its own stripe locally — size, and that every block is
+// internally sorted — then gathers to rank 0 just the first and last key of
+// each block plus input/output fingerprints: O(blocks) bytes instead of
+// O(records). Striping places global block g on disk g mod P, so rank 0
+// reconstructs the global block order from the per-rank boundary keys,
+// checks that consecutive blocks do not overlap, and that the merged output
+// fingerprint equals the merged input fingerprint. The verdict is broadcast
+// so every rank returns the same error.
+func DistributedOutput(n *cluster.Node, s oocsort.Spec, localIn records.Fingerprint) error {
+	comm := n.Comm("check-distributed")
+	payload := localStripeSummary(n, s, localIn)
+	parts := comm.Gather(0, payload)
+	var verdict []byte
+	if n.Rank() == 0 {
+		if err := judgeStripes(s, n.P(), parts); err != nil {
+			verdict = []byte(err.Error())
+		}
+	}
+	verdict = comm.Bcast(0, verdict)
+	if len(verdict) != 0 {
+		return errors.New(string(verdict))
+	}
+	return nil
+}
+
+// localStripeSummary checks this rank's stripe and encodes its summary:
+//
+//	u32 errLen, errLen bytes   local failure, if any (rest absent)
+//	3 x u64                    local input fingerprint
+//	3 x u64                    local output fingerprint
+//	u64 numBlocks, then numBlocks x (u64 first, u64 last) boundary keys
+func localStripeSummary(n *cluster.Node, s oocsort.Spec, localIn records.Fingerprint) []byte {
+	fail := func(err error) []byte {
+		msg := err.Error()
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(msg)))
+		return append(out, msg...)
+	}
+	sf := s.Output(n.P())
+	data := n.Disk.Export(s.OutputName)
+	if want := sf.LocalBytes(s.TotalBytes(), n.Rank()); int64(len(data)) != want {
+		return fail(fmt.Errorf("check: rank %d holds %d output bytes, want %d", n.Rank(), len(data), want))
+	}
+	blockBytes := s.RecordsPerBlock * s.Format.Size
+	out := binary.BigEndian.AppendUint32(nil, 0) // no local error
+	var fp records.Fingerprint
+	if s.Format.HasID() {
+		fp = s.Format.Fingerprint(data)
+	}
+	for _, v := range []uint64{localIn.Count, localIn.Sum, localIn.Xor, fp.Count, fp.Sum, fp.Xor} {
+		out = binary.BigEndian.AppendUint64(out, v)
+	}
+	numBlocks := (len(data) + blockBytes - 1) / blockBytes
+	out = binary.BigEndian.AppendUint64(out, uint64(numBlocks))
+	for k := 0; k < numBlocks; k++ {
+		lo := k * blockBytes
+		hi := min(lo+blockBytes, len(data))
+		block := data[lo:hi]
+		cnt := s.Format.Count(len(block))
+		for i := 1; i < cnt; i++ {
+			if s.Format.KeyAt(block, i) < s.Format.KeyAt(block, i-1) {
+				return fail(fmt.Errorf("check: rank %d block %d out of order at record %d", n.Rank(), k, i))
+			}
+		}
+		out = binary.BigEndian.AppendUint64(out, s.Format.KeyAt(block, 0))
+		out = binary.BigEndian.AppendUint64(out, s.Format.KeyAt(block, cnt-1))
+	}
+	return out
+}
+
+// judgeStripes combines the per-rank summaries at rank 0.
+func judgeStripes(s oocsort.Spec, p int, parts [][]byte) error {
+	type stripe struct {
+		first, last []uint64
+	}
+	var inFP, outFP records.Fingerprint
+	stripes := make([]stripe, p)
+	for rank, part := range parts {
+		if len(part) < 4 {
+			return fmt.Errorf("check: rank %d sent a truncated summary", rank)
+		}
+		if errLen := binary.BigEndian.Uint32(part); errLen != 0 {
+			if int(errLen) > len(part)-4 {
+				return fmt.Errorf("check: rank %d sent a truncated error", rank)
+			}
+			return errors.New(string(part[4 : 4+errLen]))
+		}
+		part = part[4:]
+		if len(part) < 7*8 {
+			return fmt.Errorf("check: rank %d sent a truncated summary", rank)
+		}
+		u64 := func() uint64 {
+			v := binary.BigEndian.Uint64(part)
+			part = part[8:]
+			return v
+		}
+		inFP.Merge(records.Fingerprint{Count: u64(), Sum: u64(), Xor: u64()})
+		outFP.Merge(records.Fingerprint{Count: u64(), Sum: u64(), Xor: u64()})
+		numBlocks := int(u64())
+		if len(part) != numBlocks*16 {
+			return fmt.Errorf("check: rank %d summary holds %d bytes for %d blocks", rank, len(part), numBlocks)
+		}
+		st := stripe{first: make([]uint64, numBlocks), last: make([]uint64, numBlocks)}
+		for k := 0; k < numBlocks; k++ {
+			st.first[k], st.last[k] = u64(), u64()
+		}
+		stripes[rank] = st
+	}
+	// Global block g lives on disk g mod P as local block g div P; walk the
+	// blocks in global order and require non-overlapping key ranges.
+	prevSet := false
+	var prevLast uint64
+	var totalBlocks int
+	for _, st := range stripes {
+		totalBlocks += len(st.first)
+	}
+	for g := 0; g < totalBlocks; g++ {
+		st := stripes[g%p]
+		k := g / p
+		if k >= len(st.first) {
+			return fmt.Errorf("check: global block %d missing from rank %d", g, g%p)
+		}
+		if prevSet && st.first[k] < prevLast {
+			return fmt.Errorf("check: block %d starts at key %#x, before block %d's last key %#x",
+				g, st.first[k], g-1, prevLast)
+		}
+		prevLast, prevSet = st.last[k], true
+	}
+	if s.Format.HasID() && !outFP.Equal(inFP) {
+		return fmt.Errorf("check: output is not a permutation of the input: %v vs %v", outFP, inFP)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/oocsort"
+	"github.com/fg-go/fg/records"
+)
+
+// inputShares computes each rank's share of the input fingerprint from its
+// disk, the way each process's own GenerateInput call would in a
+// multi-process job.
+func inputShares(c *cluster.Cluster, s oocsort.Spec) []records.Fingerprint {
+	shares := make([]records.Fingerprint, c.P())
+	for i, n := range c.Local() {
+		shares[i] = s.Format.Fingerprint(n.Disk.Export(s.InputName))
+	}
+	return shares
+}
+
+func TestDistributedOutputAcceptsCorrectResult(t *testing.T) {
+	s := testSpec()
+	c, _ := makeSortedOutput(t, s, 4)
+	shares := inputShares(c, s)
+	err := c.Run(func(n *cluster.Node) error {
+		return DistributedOutput(n, s, shares[n.Rank()])
+	})
+	if err != nil {
+		t.Fatalf("correct output rejected: %v", err)
+	}
+}
+
+func TestDistributedOutputDetectsUnsorted(t *testing.T) {
+	s := testSpec()
+	c, _ := makeSortedOutput(t, s, 4)
+	shares := inputShares(c, s)
+	// Swap the first and last record on one disk: blocks stay fingerprints
+	// stay, order breaks — caught either inside a block or at a boundary.
+	d := c.Node(2).Disk
+	data := d.Export(s.OutputName)
+	f := s.Format
+	lo, hi := f.At(data, 0), f.At(data, f.Count(len(data))-1)
+	tmp := make([]byte, f.Size)
+	copy(tmp, lo)
+	copy(lo, hi)
+	copy(hi, tmp)
+	d.Import(s.OutputName, data)
+	err := c.Run(func(n *cluster.Node) error {
+		return DistributedOutput(n, s, shares[n.Rank()])
+	})
+	if err == nil || !(strings.Contains(err.Error(), "out of order") || strings.Contains(err.Error(), "before block")) {
+		t.Fatalf("unsorted output accepted (err=%v)", err)
+	}
+}
+
+func TestDistributedOutputDetectsBoundaryOverlap(t *testing.T) {
+	s := testSpec()
+	c, _ := makeSortedOutput(t, s, 4)
+	shares := inputShares(c, s)
+	// Nudge one block's first key below the previous block's last key,
+	// keeping the block internally sorted: only the cross-block boundary
+	// check can see this. Use rank 1's last local block — late in global
+	// order, where keys are large — so key 0 is unambiguously too small
+	// (early Poisson blocks are full of genuine zeros).
+	d := c.Node(1).Disk // holds global blocks 1, 5, 9, ...
+	data := d.Export(s.OutputName)
+	f := s.Format
+	localBlocks := len(data) / (s.RecordsPerBlock * f.Size)
+	rec := f.At(data, (localBlocks-1)*s.RecordsPerBlock)
+	for i := 0; i < records.KeySize; i++ {
+		rec[i] = 0 // key 0 sorts before everything
+	}
+	d.Import(s.OutputName, data)
+	err := c.Run(func(n *cluster.Node) error {
+		return DistributedOutput(n, s, shares[n.Rank()])
+	})
+	if err == nil || !strings.Contains(err.Error(), "before block") {
+		t.Fatalf("overlapping blocks accepted (err=%v)", err)
+	}
+}
+
+func TestDistributedOutputDetectsWrongMultiset(t *testing.T) {
+	s := testSpec()
+	c, _ := makeSortedOutput(t, s, 4)
+	shares := inputShares(c, s)
+	d := c.Node(1).Disk
+	data := d.Export(s.OutputName)
+	f := s.Format
+	copy(f.At(data, 1), f.At(data, 0))
+	d.Import(s.OutputName, data)
+	err := c.Run(func(n *cluster.Node) error {
+		return DistributedOutput(n, s, shares[n.Rank()])
+	})
+	if err == nil || !strings.Contains(err.Error(), "permutation") {
+		t.Fatalf("tampered output accepted (err=%v)", err)
+	}
+}
+
+func TestDistributedOutputDetectsWrongSize(t *testing.T) {
+	s := testSpec()
+	c, _ := makeSortedOutput(t, s, 4)
+	shares := inputShares(c, s)
+	d := c.Node(3).Disk
+	data := d.Export(s.OutputName)
+	d.Import(s.OutputName, data[:len(data)-s.Format.Size])
+	err := c.Run(func(n *cluster.Node) error {
+		return DistributedOutput(n, s, shares[n.Rank()])
+	})
+	if err == nil || !strings.Contains(err.Error(), "output bytes") {
+		t.Fatalf("truncated output accepted (err=%v)", err)
+	}
+}

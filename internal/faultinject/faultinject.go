@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/fg-go/fg/cluster"
 )
 
 // Config parameterizes an Injector. Zero values disable each mechanism.
@@ -162,6 +164,27 @@ func (in *Injector) CommHook(ops ...string) func(op string, peer int, nbytes int
 			return nil
 		}
 		return in.Op(op)
+	}
+}
+
+// NetHook adapts the injector to cluster.Cluster.SetNetFault, turning the
+// injector's fail schedule into wire-level faults on the TCP transport:
+// each outgoing frame of at least minBytes payload is a candidate, and a
+// candidate the injector fails suffers the given action (drop the frame,
+// close the connection, or close it mid-frame). The minBytes filter scopes
+// chaos to bulk data traffic, leaving small control messages (barriers,
+// verification gathers) alone. Config.Latency applies to every candidate
+// frame, failed or not, which makes NetHook with action
+// cluster.NetFaultNone a slow-network simulator.
+func (in *Injector) NetHook(action cluster.NetFault, minBytes int) cluster.NetFaultHook {
+	return func(src, dst, nbytes int) cluster.NetFault {
+		if nbytes < minBytes {
+			return cluster.NetFaultNone
+		}
+		if in.Op("net") != nil {
+			return action
+		}
+		return cluster.NetFaultNone
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"github.com/fg-go/fg/cluster"
 )
 
 func TestFailNThenSucceed(t *testing.T) {
@@ -167,5 +169,30 @@ func TestReleaseWithoutHangIsSafe(t *testing.T) {
 	}
 	if in.Hung() != 0 {
 		t.Errorf("Hung = %d with no HangOn configured", in.Hung())
+	}
+}
+
+func TestNetHookFiltersAndFires(t *testing.T) {
+	in := New(Config{FailN: 1})
+	hook := in.NetHook(cluster.NetFaultCloseConn, 100)
+	// Frames below the size floor are never candidates.
+	for i := 0; i < 3; i++ {
+		if got := hook(0, 1, 50); got != cluster.NetFaultNone {
+			t.Fatalf("small frame got fault %v", got)
+		}
+	}
+	if in.Ops() != 0 {
+		t.Fatalf("small frames consumed %d candidate ops", in.Ops())
+	}
+	// The first big-enough frame eats the FailN budget and gets the action.
+	if got := hook(0, 1, 100); got != cluster.NetFaultCloseConn {
+		t.Fatalf("first bulk frame got %v, want CloseConn", got)
+	}
+	// Later frames pass.
+	if got := hook(1, 0, 4096); got != cluster.NetFaultNone {
+		t.Fatalf("post-budget frame got %v, want None", got)
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", in.Injected())
 	}
 }

@@ -48,6 +48,19 @@ type Params struct {
 	// when it carries a Metrics registry, the cluster's per-node traffic
 	// counters are registered with it.
 	Observe *fg.Observe
+
+	// Transport selects the cluster transport. The zero value keeps the
+	// in-process backend; Kind "tcp" moves inter-rank messages over real
+	// sockets, and with Peers set the run spans OS processes — each process
+	// hosts Rank, generates that rank's input share, runs that rank's
+	// program, and takes part in a distributed verification instead of
+	// reading every disk locally.
+	Transport cluster.TransportConfig
+
+	// OnCluster, if non-nil, is called with each freshly built cluster
+	// before the program runs — the hook chaos tests use to install
+	// network fault injectors (cluster.SetNetFault).
+	OnCluster func(*cluster.Cluster)
 }
 
 // instrument wires the Observe bundle into a freshly built cluster. The
@@ -67,9 +80,8 @@ func (pr Params) instrument(c *cluster.Cluster) func() {
 	if tr == nil && fr == nil {
 		return func() {}
 	}
-	for i := 0; i < c.P(); i++ {
-		n := c.Node(i)
-		pipe := fmt.Sprintf("node%d", i)
+	for _, n := range c.Local() {
+		pipe := fmt.Sprintf("node%d", n.Rank())
 		n.SetCommObserver(func(op string, peer, nbytes int, xfer int64, start, end time.Time) {
 			e := fg.Event{
 				Stage:    "comm." + op,
@@ -90,8 +102,8 @@ func (pr Params) instrument(c *cluster.Cluster) func() {
 		})
 	}
 	return func() {
-		for i := 0; i < c.P(); i++ {
-			c.Node(i).SetCommObserver(nil)
+		for _, n := range c.Local() {
+			n.SetCommObserver(nil)
 		}
 	}
 }
@@ -147,9 +159,15 @@ func (pr Params) Spec(dist workload.Distribution) (oocsort.Spec, error) {
 	return s, nil
 }
 
-// NewCluster builds a fresh simulated cluster for one run.
-func (pr Params) NewCluster() *cluster.Cluster {
-	return cluster.New(cluster.Config{Nodes: pr.Nodes, Disk: pr.Disk, Network: pr.Network})
+// NewCluster builds a fresh cluster for one run on the configured
+// transport. Close it when the run is over.
+func (pr Params) NewCluster() (*cluster.Cluster, error) {
+	return cluster.Open(cluster.Config{
+		Nodes:     pr.Nodes,
+		Disk:      pr.Disk,
+		Network:   pr.Network,
+		Transport: pr.Transport,
+	})
 }
 
 // Program identifies a sorting program the harness can run.
@@ -174,7 +192,14 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 	// Collect garbage left by earlier runs before the timed region so one
 	// experiment's heap does not tax the next one's pass timings.
 	runtime.GC()
-	c := pr.NewCluster()
+	c, err := pr.NewCluster()
+	if err != nil {
+		return oocsort.Result{}, err
+	}
+	defer c.Close()
+	if pr.OnCluster != nil {
+		pr.OnCluster(c)
+	}
 	fp, err := oocsort.GenerateInput(c, spec)
 	if err != nil {
 		return oocsort.Result{}, err
@@ -231,14 +256,26 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 		return oocsort.Result{}, err
 	}
 	if pr.Verify {
-		if err := check.Output(c, spec, fp); err != nil {
+		if err := pr.verify(c, spec, fp); err != nil {
 			return oocsort.Result{}, fmt.Errorf("harness: %s on %v: %w", prog, dist, err)
 		}
 	}
-	res := results[0]
+	res := results[c.Local()[0].Rank()]
 	res.Disk = oocsort.CollectDiskStats(c)
 	res.Comm = oocsort.CollectCommStats(c)
 	return res, nil
+}
+
+// verify checks the sorted output: directly when every rank's disk is in
+// this process, collectively (check.DistributedOutput) when the job spans
+// processes.
+func (pr Params) verify(c *cluster.Cluster, spec oocsort.Spec, fp records.Fingerprint) error {
+	if c.AllLocal() {
+		return check.Output(c, spec, fp)
+	}
+	return c.Run(func(n *cluster.Node) error {
+		return check.DistributedOutput(n, spec, fp)
+	})
 }
 
 // Cell is one column pair of Figure 8: dsort and csort on one distribution.
@@ -408,7 +445,14 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 		return oocsort.Result{}, err
 	}
 	runtime.GC()
-	c := pr.NewCluster()
+	c, err := pr.NewCluster()
+	if err != nil {
+		return oocsort.Result{}, err
+	}
+	defer c.Close()
+	if pr.OnCluster != nil {
+		pr.OnCluster(c)
+	}
 	fp, err := oocsort.GenerateInput(c, spec)
 	if err != nil {
 		return oocsort.Result{}, err
@@ -431,11 +475,11 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 		return oocsort.Result{}, err
 	}
 	if pr.Verify {
-		if err := check.Output(c, spec, fp); err != nil {
+		if err := pr.verify(c, spec, fp); err != nil {
 			return oocsort.Result{}, err
 		}
 	}
-	res := results[0]
+	res := results[c.Local()[0].Rank()]
 	res.Disk = oocsort.CollectDiskStats(c)
 	res.Comm = oocsort.CollectCommStats(c)
 	return res, nil

@@ -87,11 +87,13 @@ func (s Spec) Output(p int) pdm.StripedFile {
 	return pdm.NewStripedFile(s.OutputName, s.RecordsPerBlock*s.Format.Size, p)
 }
 
-// GenerateInput fills every node's input file with its share of records
-// drawn from the spec's distribution, and returns the fingerprint of the
-// whole input (for formats that carry identifiers; otherwise a zero
-// fingerprint). Generation bypasses the simulated disk cost: it is setup,
-// not part of any measured pass.
+// GenerateInput fills every local node's input file with its share of
+// records drawn from the spec's distribution, and returns the fingerprint
+// of the generated records (for formats that carry identifiers; otherwise a
+// zero fingerprint). With every rank local that is the whole input's
+// fingerprint; in a multi-process job it is this process's share, which
+// check.DistributedOutput combines across processes. Generation bypasses
+// the simulated disk cost: it is setup, not part of any measured pass.
 func GenerateInput(c *cluster.Cluster, s Spec) (records.Fingerprint, error) {
 	if err := s.Validate(c.P()); err != nil {
 		return records.Fingerprint{}, err
@@ -162,23 +164,24 @@ func (r Result) String() string {
 	return out
 }
 
-// CollectDiskStats sums the disk counters across the cluster and resets
-// them, so successive sorts on the same cluster report independent traffic.
+// CollectDiskStats sums the disk counters across the cluster's local nodes
+// and resets them, so successive sorts on the same cluster report
+// independent traffic. In a multi-process job each process reports the
+// traffic of the ranks it hosts.
 func CollectDiskStats(c *cluster.Cluster) pdm.Counters {
 	var total pdm.Counters
-	for _, d := range c.Disks() {
-		total.Add(d.Stats())
-		d.ResetStats()
+	for _, n := range c.Local() {
+		total.Add(n.Disk.Stats())
+		n.Disk.ResetStats()
 	}
 	return total
 }
 
-// CollectCommStats sums the communication counters across the cluster and
-// resets them.
+// CollectCommStats sums the communication counters across the cluster's
+// local nodes and resets them.
 func CollectCommStats(c *cluster.Cluster) cluster.CommStats {
 	var total cluster.CommStats
-	for i := 0; i < c.P(); i++ {
-		n := c.Node(i)
+	for _, n := range c.Local() {
 		s := n.Stats()
 		total.MessagesSent += s.MessagesSent
 		total.BytesSent += s.BytesSent
