@@ -102,6 +102,9 @@ type Config struct {
 	// interconnect); see TransportConfig for the TCP backend, which can
 	// split the job's ranks across OS processes.
 	Transport TransportConfig
+	// Health configures heartbeat-based failure detection; the zero value
+	// (Interval 0) disables it, costing nothing. See HealthConfig.
+	Health HealthConfig
 }
 
 const defaultMailboxDepth = 1024
@@ -126,6 +129,18 @@ type Cluster struct {
 
 	abortOnce sync.Once
 	aborted   chan struct{}
+	// abortCause, set (at most once, before aborted closes) by AbortWith,
+	// names why the job died; nil means a plain Abort and reads as
+	// ErrAborted. Blocked operations released by the abort panic with it.
+	abortCause atomic.Pointer[error]
+
+	// parts[r] marks rank r as partitioned: deliverLocal silently drops
+	// every frame — data and heartbeats — to or from r, simulating a
+	// network partition at the receiver. See SetPartitioned.
+	parts []atomic.Bool
+
+	health      *healthMonitor // nil unless Config.Health enables heartbeats
+	onPeerDeath atomic.Pointer[func(rank int, err error)]
 
 	closeOnce sync.Once
 	closeErr  error
@@ -153,6 +168,7 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, transport: tr, aborted: make(chan struct{})}
 	c.nodes = make([]*Node, cfg.Nodes)
+	c.parts = make([]atomic.Bool, cfg.Nodes)
 	for _, r := range ranks {
 		n := &Node{
 			rank:      r,
@@ -163,8 +179,18 @@ func Open(cfg Config) (*Cluster, error) {
 		c.nodes[r] = n
 		c.local = append(c.local, n)
 	}
+	// Install the health monitor before the transport starts: the moment a
+	// listener is up, an inbound heartbeat from an eager peer can reach
+	// deliverLocal, which must see a fully built monitor (or a committed
+	// nil).
+	if cfg.Health.Interval > 0 {
+		c.health = newHealthMonitor(c, cfg.Health.withDefaults())
+	}
 	if err := tr.Start(c); err != nil {
 		return nil, err
+	}
+	if c.health != nil {
+		c.health.start()
 	}
 	return c, nil
 }
@@ -212,7 +238,12 @@ func (c *Cluster) Aborted() bool {
 // nothing to release, so existing callers that never Close stay correct;
 // TCP clusters should always be closed.
 func (c *Cluster) Close() error {
-	c.closeOnce.Do(func() { c.closeErr = c.transport.Close() })
+	c.closeOnce.Do(func() {
+		if c.health != nil {
+			c.health.stop()
+		}
+		c.closeErr = c.transport.Close()
+	})
 	return c.closeErr
 }
 
@@ -237,17 +268,53 @@ func (c *Cluster) Disks() []*pdm.Disk {
 // Cluster.Run calls it automatically when any node's function fails. In a
 // multi-process job the abort is propagated (best-effort) to the peers, so
 // their blocked operations are released too.
-func (c *Cluster) Abort() {
+func (c *Cluster) Abort() { c.AbortWith(nil) }
+
+// AbortWith is Abort carrying a cause: every blocked or subsequent Send and
+// Recv panics with a CommError wrapping cause instead of plain ErrAborted,
+// so the teardown's origin — a peer declared dead, say — survives into the
+// error every node reports. A nil cause (or a cause that loses the race to
+// an earlier abort) reads as ErrAborted. Remote processes always observe
+// plain ErrAborted: the propagated control frame carries no cause.
+func (c *Cluster) AbortWith(cause error) {
 	c.abortOnce.Do(func() {
+		if cause != nil {
+			c.abortCause.Store(&cause)
+		}
 		close(c.aborted)
 		c.transport.PropagateAbort()
 	})
 }
 
+// abortErr returns the error blocked operations die with: the AbortWith
+// cause if one was recorded, otherwise ErrAborted.
+func (c *Cluster) abortErr() error {
+	if p := c.abortCause.Load(); p != nil {
+		return *p
+	}
+	return ErrAborted
+}
+
 // abortPanic raises the panic for an operation killed by Abort.
 func (n *Node) abortPanic(op string, peer int) {
-	panic(&CommError{Op: op, Rank: n.rank, Peer: peer, Err: ErrAborted})
+	panic(&CommError{Op: op, Rank: n.rank, Peer: peer, Err: n.cluster.abortErr()})
 }
+
+// SetPartitioned isolates (or, with false, heals) rank r at this process's
+// receiver: while set, deliverLocal silently drops every frame to or from r
+// — bulk data and heartbeats alike — which is what a partitioned switch
+// port looks like: sends appear to succeed and nothing arrives. It is a
+// chaos seam for failure-detection tests on any backend; in a multi-process
+// job each process decides its own view, as a real partition would. With
+// heartbeats enabled, a partitioned local rank becomes a death-detection
+// candidate like a remote one.
+func (c *Cluster) SetPartitioned(r int, on bool) {
+	c.parts[r].Store(on)
+}
+
+// isPartitioned reports whether rank r is currently isolated at this
+// process.
+func (c *Cluster) isPartitioned(r int) bool { return c.parts[r].Load() }
 
 // Run executes fn once per local node, each invocation on its own
 // goroutine, and waits for all of them. A panic on a node goroutine is
@@ -318,6 +385,10 @@ type CommStats struct {
 	// hung communication from a hung disk.
 	SendsBlocked int64
 	RecvsBlocked int64
+	// Reconnects counts TCP connections this node redialed after a
+	// failure (the first dial of a connection is not a reconnect). Always
+	// zero on the in-process transport.
+	Reconnects int64
 }
 
 // commCounters is the lock-free backing store for CommStats: the hot
@@ -336,6 +407,8 @@ type commCounters struct {
 	// send/recv and decremented leaving it (on every path, abort included).
 	sendsBlocked atomic.Int64
 	recvsBlocked atomic.Int64
+
+	reconnects atomic.Int64
 }
 
 // A CommObserver is called after each completed blocking communication
@@ -406,6 +479,7 @@ func (n *Node) Stats() CommStats {
 		RecvWait:      time.Duration(n.stats.recvWait.Load()),
 		SendsBlocked:  n.stats.sendsBlocked.Load(),
 		RecvsBlocked:  n.stats.recvsBlocked.Load(),
+		Reconnects:    n.stats.reconnects.Load(),
 	}
 }
 
@@ -418,6 +492,7 @@ func (n *Node) ResetStats() {
 	n.stats.sendBusy.Store(0)
 	n.stats.sendWait.Store(0)
 	n.stats.recvWait.Store(0)
+	n.stats.reconnects.Store(0)
 }
 
 // SetCommObserver installs (or, with nil, removes) an observer for this
@@ -486,6 +561,23 @@ func (n *Node) mailbox(src int, tag int64) chan message {
 // transport passes its shutdown channel so Close can release readers
 // parked on a full mailbox; the in-process transport passes nil.
 func (c *Cluster) deliverLocal(f Frame, cancel <-chan struct{}) error {
+	if f.Src < 0 || f.Src >= len(c.parts) || f.Dst < 0 || f.Dst >= len(c.parts) {
+		return fmt.Errorf("cluster: frame ranks %d->%d outside [0, %d)", f.Src, f.Dst, len(c.parts))
+	}
+	// A simulated partition swallows the frame before any observable
+	// effect; the sender cannot tell (its bytes left the NIC), which is the
+	// failure mode heartbeats exist to detect.
+	if c.parts[f.Src].Load() || c.parts[f.Dst].Load() {
+		return nil
+	}
+	// Heartbeats never touch a mailbox: they update the failure detector
+	// and vanish, so liveness costs the data path one tag compare.
+	if f.Tag == healthTag {
+		if c.health != nil {
+			c.health.observe(f.Src)
+		}
+		return nil
+	}
 	dst := c.nodes[f.Dst]
 	if dst == nil {
 		return fmt.Errorf("cluster: rank %d is not hosted by this process", f.Dst)
@@ -623,5 +715,22 @@ func (c *Cluster) EmitMetrics(emit func(name string, labels map[string]string, v
 		emit("cluster_recv_wait_seconds_total", l(), s.RecvWait.Seconds())
 		emit("cluster_sends_blocked", l(), float64(s.SendsBlocked))
 		emit("cluster_recvs_blocked", l(), float64(s.RecvsBlocked))
+		emit("cluster_reconnects_total", l(), float64(s.Reconnects))
 	}
+	if c.health != nil {
+		c.health.emitMetrics(emit)
+	}
+}
+
+// OnPeerDeath registers a hook invoked once, on the failure detector's
+// goroutine, when a peer is declared dead — after the cause is recorded
+// but concurrent with the abort that releases blocked operations. The hook
+// observes (logs, counts); the abort itself needs no help. It must not
+// block. A nil fn clears it. Without Config.Health the hook never fires.
+func (c *Cluster) OnPeerDeath(fn func(rank int, err error)) {
+	if fn == nil {
+		c.onPeerDeath.Store(nil)
+		return
+	}
+	c.onPeerDeath.Store(&fn)
 }

@@ -89,6 +89,8 @@ func TestTransportConformance(t *testing.T) {
 			t.Run("AbortReleasesBlockedSend", func(t *testing.T) { conformAbortSend(t, kind) })
 			t.Run("AbortReleasesBlockedRecv", func(t *testing.T) { conformAbortRecv(t, kind) })
 			t.Run("SendAfterAbortFailsFast", func(t *testing.T) { conformAbortPreflight(t, kind) })
+			t.Run("PeerDeathReleasesBlockedOps", func(t *testing.T) { conformPeerDeath(t, kind) })
+			t.Run("HeartbeatSurvivesTransientPartition", func(t *testing.T) { conformTransientPartition(t, kind) })
 			t.Run("CleanShutdown", func(t *testing.T) { conformShutdown(t, kind) })
 		})
 	}
@@ -420,4 +422,164 @@ func countClusterGoroutines() int {
 		}
 	}
 	return count
+}
+
+// openHealthConformance builds an all-local cluster with the failure
+// detector armed on a fast clock. Small mailbox and in-flight budgets keep
+// "sender blocked" cheap to arrange, as in openConformance.
+func openHealthConformance(t *testing.T, kind string, nodes int, h HealthConfig) *Cluster {
+	t.Helper()
+	c, err := Open(Config{
+		Nodes:        nodes,
+		MailboxDepth: 1,
+		Health:       h,
+		Transport: TransportConfig{
+			Kind:             kind,
+			MaxInflightBytes: 64,
+		},
+	})
+	if err != nil {
+		t.Fatalf("open %s cluster: %v", kind, err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("close %s cluster: %v", kind, err)
+		}
+	})
+	return c
+}
+
+// expectPeerDeadErr runs fn, which must panic with a *CommError wrapping
+// ErrPeerDead — the failure detector's signature, distinct from a plain
+// abort's ErrAborted.
+func expectPeerDeadErr(t *testing.T, op string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s survived peer death without panicking", op)
+			return
+		}
+		var ce *CommError
+		err, ok := r.(error)
+		if !ok || !errors.As(err, &ce) || !errors.Is(ce, ErrPeerDead) {
+			t.Errorf("%s panicked with %v, want CommError{ErrPeerDead}", op, r)
+		}
+	}()
+	fn()
+}
+
+// conformPeerDeath: when the failure detector declares a peer dead, every
+// blocked operation — point-to-point receive, any-source receive, and a
+// send parked on backpressure — must be released with
+// CommError{ErrPeerDead}, attributing the failure to the death rather than
+// to a generic abort. The dying peer is simulated by partitioning a local
+// rank, which silences its heartbeats exactly as SIGKILL would.
+func conformPeerDeath(t *testing.T, kind string) {
+	h := HealthConfig{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 40 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+		StartupGrace: 10 * time.Second,
+	}
+	c := openHealthConformance(t, kind, 3, h)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	released := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		expectPeerDeadErr(t, "blocked recv from the dead peer", func() { c.Node(0).Recv(2, 3) })
+	}()
+	go func() {
+		defer wg.Done()
+		expectPeerDeadErr(t, "blocked any-source recv", func() { c.Node(1).RecvAny(4) })
+	}()
+	go func() {
+		defer wg.Done()
+		expectPeerDeadErr(t, "blocked send", func() {
+			n := c.Node(0)
+			payload := make([]byte, 32)
+			for {
+				n.Send(1, 9, payload) // rank 1 never receives; must block soon
+			}
+		})
+	}()
+	go func() { wg.Wait(); close(released) }()
+
+	// Let the operations park and a few heartbeat rounds flow, so rank 2
+	// has been heard from and its death will age against DeadAfter, not
+	// startup grace.
+	time.Sleep(60 * time.Millisecond)
+	c.SetPartitioned(2, true)
+	select {
+	case <-released:
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer death did not release the blocked operations")
+	}
+	var dead *PeerStatus
+	for _, st := range c.PeerHealth() {
+		if st.Dead {
+			st := st
+			dead = &st
+		}
+	}
+	if dead == nil || dead.Rank != 2 {
+		t.Errorf("PeerHealth names no dead rank 2: %+v", c.PeerHealth())
+	}
+}
+
+// conformTransientPartition: a partition shorter than the dead threshold
+// must not kill anyone. The detector may mark the silent rank suspect, but
+// once the partition heals and heartbeats resume, the rank recovers and
+// traffic flows again — the property that separates a failure detector
+// from a hair trigger.
+func conformTransientPartition(t *testing.T, kind string) {
+	h := HealthConfig{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 50 * time.Millisecond,
+		DeadAfter:    2 * time.Second,
+		StartupGrace: 10 * time.Second,
+	}
+	c := openHealthConformance(t, kind, 2, h)
+
+	// Traffic before: both directions work.
+	c.Node(1).Send(0, 1, []byte("pre"))
+	if got := c.Node(0).Recv(1, 1); string(got) != "pre" {
+		t.Fatalf("pre-partition payload %q", got)
+	}
+
+	// Partition rank 1 while the cluster is quiet: only heartbeats are
+	// lost. Hold it well past the suspect threshold and well short of the
+	// dead one.
+	c.SetPartitioned(1, true)
+	suspectDeadline := time.Now().Add(time.Second)
+	for {
+		if c.PeerHealth()[1].Suspect {
+			break
+		}
+		if time.Now().After(suspectDeadline) {
+			t.Fatal("partitioned rank never marked suspect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.SetPartitioned(1, false)
+
+	// Recovery: a resumed heartbeat clears the suspicion and traffic works.
+	clearDeadline := time.Now().Add(time.Second)
+	for {
+		if st := c.PeerHealth()[1]; !st.Suspect && !st.Dead {
+			break
+		}
+		if time.Now().After(clearDeadline) {
+			t.Fatalf("healed rank still suspect/dead: %+v", c.PeerHealth()[1])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Aborted() {
+		t.Fatal("transient partition aborted the cluster")
+	}
+	c.Node(1).Send(0, 2, []byte("post"))
+	if got := c.Node(0).Recv(1, 2); string(got) != "post" {
+		t.Fatalf("post-heal payload %q", got)
+	}
 }

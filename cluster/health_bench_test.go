@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHeartbeatOverhead pins the failure detector's cost where it
+// matters: adjacent to the data path. The "observe" case is the receiving
+// side — a heartbeat frame entering deliverLocal, intercepted before the
+// mailbox layer — and must stay allocation-free, because it runs on the
+// transport's read goroutines between data frames. The "beat" case is one
+// full fan-out of heartbeats from every local rank (the per-tick cost of
+// the monitor goroutine, inproc backend), also allocation-free.
+func BenchmarkHeartbeatOverhead(b *testing.B) {
+	// An interval long enough that the monitor's own ticker never fires
+	// during the benchmark: only the measured calls touch the detector.
+	idle := HealthConfig{Interval: time.Hour}
+
+	b.Run("observe", func(b *testing.B) {
+		c := New(Config{Nodes: 2, Health: idle})
+		defer c.Close()
+		f := Frame{Src: 1, Dst: 0, Tag: healthTag}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.deliverLocal(f, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("beat", func(b *testing.B) {
+		c := New(Config{Nodes: 4, Health: idle})
+		defer c.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.health.beat()
+		}
+	})
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,22 @@ const (
 	tcpIOBufSize            = 64 << 10
 	abortDialTimeout        = 2 * time.Second
 	peerDrainTimeout        = 2 * time.Second
+
+	// Control-plane timeouts (heartbeats). Dials are asynchronous and
+	// short: beats are dropped until the connection lands, which is fine —
+	// the receiving end's StartupGrace covers connection establishment.
+	// Writes get a deadline because a write that cannot complete within it
+	// means the receiver has stopped draining even 30-byte frames, which is
+	// precisely the condition heartbeats should fail on.
+	ctlDialTimeout  = time.Second
+	ctlWriteTimeout = time.Second
+
+	// Reconnect backoff for the data-plane writer (ensureConn): a flapping
+	// or restarting peer is redialed with jittered exponential delays
+	// instead of a tight fixed-interval loop, still bounded overall by
+	// DialTimeout.
+	reconnectBaseDelay = 25 * time.Millisecond
+	reconnectMaxDelay  = time.Second
 )
 
 type tcpTransport struct {
@@ -65,8 +83,14 @@ type tcpTransport struct {
 
 	mu    sync.Mutex
 	peers map[peerKey]*tcpPeer
+	ctls  map[int]*tcpCtl       // per-destination control-plane senders
 	conns map[net.Conn]struct{} // accepted (inbound) connections
-	wg    sync.WaitGroup        // accept loops, readers, writers
+	wg    sync.WaitGroup        // accept loops, readers, writers, ctl dials
+
+	// rng feeds the reconnect backoff's jitter; guarded by rngMu because
+	// several peers may be backing off at once.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	fault   atomic.Pointer[NetFaultHook]
 	dropped atomic.Int64 // frames lost to failed or closing connections
@@ -85,7 +109,9 @@ func newTCPTransport(cfg TransportConfig) *tcpTransport {
 		cfg:    cfg,
 		closed: make(chan struct{}),
 		peers:  make(map[peerKey]*tcpPeer),
+		ctls:   make(map[int]*tcpCtl),
 		conns:  make(map[net.Conn]struct{}),
+		rng:    rand.New(rand.NewSource(0x7ec0ec0)),
 	}
 }
 
@@ -218,6 +244,7 @@ func (t *tcpTransport) peer(src, dst int) *tcpPeer {
 	if p == nil {
 		p = &tcpPeer{
 			t:      t,
+			src:    src,
 			dst:    dst,
 			budget: newByteBudget(t.cfg.MaxInflightBytes),
 			q:      make(chan queuedFrame, 256),
@@ -269,6 +296,104 @@ func (t *tcpTransport) Deliver(f Frame) error {
 	}
 }
 
+// DeliverControl sends a heartbeat frame on the destination's dedicated
+// control connection — never the data connection, whose socket buffer may
+// legitimately be full of bulk data behind a slow-but-alive receiver. The
+// first call kicks off an asynchronous dial and reports the beat missed;
+// write failures reset the connection so the next beat redials. The
+// receiving process's accept loop cannot tell a control connection from a
+// data one, and does not need to: the frames carry healthTag and are
+// intercepted before the mailbox layer.
+func (t *tcpTransport) DeliverControl(f Frame) error {
+	if t.isClosed() {
+		return errTransportClosed
+	}
+	if h := t.fault.Load(); h != nil {
+		// Heartbeats are subject to wire faults like any frame: a simulated
+		// partition that drops data but spares liveness would prove nothing.
+		if act := (*h)(f.Src, f.Dst, len(f.Data)); act != NetFaultNone {
+			return fmt.Errorf("tcp: injected fault on control frame %d->%d", f.Src, f.Dst)
+		}
+	}
+	t.mu.Lock()
+	ctl := t.ctls[f.Dst]
+	if ctl == nil {
+		ctl = &tcpCtl{t: t, dst: f.Dst}
+		t.ctls[f.Dst] = ctl
+	}
+	t.mu.Unlock()
+	return ctl.send(f)
+}
+
+// tcpCtl is the control-plane sender toward one destination process: a
+// single long-lived connection reserved for frames that must not queue
+// behind bulk data. All local ranks' heartbeats to that destination share
+// it.
+type tcpCtl struct {
+	t   *tcpTransport
+	dst int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	dialing bool
+	buf     []byte // reusable encode buffer; beats must not allocate per tick
+}
+
+var errCtlNotConnected = errors.New("tcp: control connection not established yet")
+
+func (c *tcpCtl) send(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if !c.dialing {
+			c.t.mu.Lock()
+			if !c.t.isClosed() {
+				c.dialing = true
+				c.t.wg.Add(1)
+				go c.dial()
+			}
+			c.t.mu.Unlock()
+		}
+		return errCtlNotConnected
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(ctlWriteTimeout))
+	c.buf = appendFrame(c.buf[:0], frameKindData, f)
+	if _, err := c.conn.Write(c.buf); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// dial establishes the control connection in the background; beats in the
+// meantime are simply missed.
+func (c *tcpCtl) dial() {
+	defer c.t.wg.Done()
+	conn, err := net.DialTimeout("tcp", c.t.addrs[c.dst], ctlDialTimeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dialing = false
+	if err != nil {
+		return
+	}
+	if c.t.isClosed() {
+		conn.Close()
+		return
+	}
+	c.conn = conn
+}
+
+// close releases the control connection, if any.
+func (c *tcpCtl) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
 // PropagateAbort tells every remote process to abort too, each on a fresh
 // short-lived connection so the control frame cannot sit behind a stalled
 // data stream. Best-effort but synchronous (bounded by the dial and write
@@ -314,9 +439,16 @@ func (t *tcpTransport) Close() error {
 		for _, p := range t.peers {
 			peers = append(peers, p)
 		}
+		ctls := make([]*tcpCtl, 0, len(t.ctls))
+		for _, ctl := range t.ctls {
+			ctls = append(ctls, ctl)
+		}
 		t.mu.Unlock()
 		for _, p := range peers {
 			p.close()
+		}
+		for _, ctl := range ctls {
+			ctl.close()
 		}
 		t.wg.Wait()
 	})
@@ -341,6 +473,7 @@ type queuedFrame struct {
 // rather than deadlock) until a Deliver redials.
 type tcpPeer struct {
 	t      *tcpTransport
+	src    int
 	dst    int
 	budget *byteBudget
 	q      chan queuedFrame
@@ -356,28 +489,39 @@ type tcpPeer struct {
 }
 
 // ensureConn dials (or redials, after a failure) the destination,
-// retrying until DialTimeout so that the processes of one job may start in
-// any order. It holds the peer lock for the duration: concurrent senders
-// to the same destination need the same connection anyway.
+// retrying with jittered exponential backoff until DialTimeout so that the
+// processes of one job may start in any order and a flapping peer is not
+// hammered in a tight loop. It holds the peer lock for the duration:
+// concurrent senders to the same destination need the same connection
+// anyway. A successful redial after a failure counts as a reconnect,
+// reported through the source node's stats and CommObserver.
 func (p *tcpPeer) ensureConn() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.conn != nil && p.err == nil {
 		return nil
 	}
+	redial := p.conn != nil || p.gen > 0
 	if p.conn != nil {
 		p.conn.Close()
 		p.conn, p.bw = nil, nil
 	}
 	addr := p.t.addrs[p.dst]
-	deadline := time.Now().Add(p.t.cfg.DialTimeout)
-	for {
+	start := time.Now()
+	deadline := start.Add(p.t.cfg.DialTimeout)
+	for attempt := 0; ; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
 			p.conn = conn
 			p.bw = bufio.NewWriterSize(conn, tcpIOBufSize)
 			p.gen++
 			p.err = nil
+			if redial {
+				if n := p.t.c.nodes[p.src]; n != nil {
+					n.stats.reconnects.Add(1)
+					n.observe("reconnect", p.dst, 0, 0, start)
+				}
+			}
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -385,13 +529,31 @@ func (p *tcpPeer) ensureConn() error {
 			return fmt.Errorf("tcp: dial rank %d (%s): %w", p.dst, addr, err)
 		}
 		select {
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(p.t.reconnectDelay(attempt)):
 		case <-p.t.c.aborted:
 			return ErrAborted
 		case <-p.t.closed:
 			return errTransportClosed
 		}
 	}
+}
+
+// reconnectDelay returns the backoff before redial attempt `attempt`
+// (0-based): exponential from reconnectBaseDelay, capped at
+// reconnectMaxDelay, and jittered uniformly over [d/2, d) so peers that
+// failed together do not redial in lockstep.
+func (t *tcpTransport) reconnectDelay(attempt int) time.Duration {
+	d := reconnectMaxDelay
+	if attempt < 10 { // 25ms << 10 already exceeds any sane cap
+		if e := reconnectBaseDelay << uint(attempt); e < d {
+			d = e
+		}
+	}
+	t.rngMu.Lock()
+	u := t.rng.Float64()
+	t.rngMu.Unlock()
+	half := d / 2
+	return half + time.Duration(u*float64(half))
 }
 
 // fail records a connection failure, unless a newer generation has already

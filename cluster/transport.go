@@ -53,6 +53,14 @@ type Transport interface {
 	// a transport error (dial failure, broken connection, injected fault)
 	// that the caller wraps in a CommError.
 	Deliver(f Frame) error
+	// DeliverControl routes a small control frame (a heartbeat, tagged in
+	// the reserved negative tag space) toward f.Dst, promptly and
+	// best-effort: it must never block on data backpressure or on
+	// connection establishment — liveness signals that queue behind bulk
+	// data would make a slow receiver indistinguishable from a dead one. A
+	// non-nil error means the frame was not sent; the caller treats it as
+	// a missed beat, not a failure.
+	DeliverControl(f Frame) error
 	// PropagateAbort tells the job's remote processes to abort,
 	// best-effort; releasing this process's blocked operations is the
 	// cluster's job, not the transport's. In-process it is a no-op.
@@ -173,6 +181,13 @@ func (t *inprocTransport) Deliver(f Frame) error {
 	}
 	src.stats.sendsBlocked.Add(1)
 	defer src.stats.sendsBlocked.Add(-1)
+	return t.c.deliverLocal(f, nil)
+}
+
+// DeliverControl hands the frame straight to the local delivery path:
+// control frames are intercepted there before any mailbox, so this never
+// blocks and charges no simulated NIC time — heartbeats are not workload.
+func (t *inprocTransport) DeliverControl(f Frame) error {
 	return t.c.deliverLocal(f, nil)
 }
 

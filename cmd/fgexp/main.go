@@ -39,6 +39,9 @@ func main() {
 		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
 		stallAfter = flag.Duration("stall-after", 0, "arm a stall watchdog: report and dump a black-box trace after this long with no progress (0 = off)")
 		transport  = flag.String("transport", "inproc", "cluster transport: inproc (goroutines and channels) or tcp (real loopback sockets, all ranks in this process)")
+		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for peer failure detection; a peer silent for 10 intervals is declared dead and the run aborted (0 = off)")
+		ckptDir    = flag.String("checkpoint-dir", "", "commit a checkpoint after each pass under this directory and resume from it on restart")
+		supervise  = flag.Int("supervise", 1, "run each sort under a supervisor that retries up to this many attempts on peer death or abort, resuming from checkpoints (1 = no supervisor)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fgexp: unknown -transport %q (want inproc or tcp)\n", *transport)
 		os.Exit(1)
+	}
+
+	if *heartbeat > 0 {
+		pr.Health = cluster.HealthConfig{Interval: *heartbeat}
+	}
+	pr.CheckpointDir = *ckptDir
+	if *supervise < 1 {
+		fmt.Fprintf(os.Stderr, "fgexp: -supervise must be >= 1, got %d\n", *supervise)
+		os.Exit(1)
+	}
+	if *supervise > 1 {
+		pr.Supervise = *supervise
+		pr.SuperviseLog = os.Stderr
 	}
 
 	trialCount = *trials

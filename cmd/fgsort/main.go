@@ -11,12 +11,19 @@
 //
 //	fgsort -program csort -nodes 2 -transport tcp -rank 0 -peers 127.0.0.1:7000,127.0.0.1:7001 &
 //	fgsort -program csort -nodes 2 -transport tcp -rank 1 -peers 127.0.0.1:7000,127.0.0.1:7001
+//
+// Adding -heartbeat, -checkpoint-dir, and -supervise makes a multi-process
+// run survive node death: a kill -9'd rank is detected by heartbeats, the
+// surviving ranks' supervisors retry, and a relaunched replacement rank
+// resumes from the last pass-level checkpoint (see EXPERIMENTS.md for a
+// full recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -44,6 +51,9 @@ func main() {
 		transport  = flag.String("transport", "inproc", "cluster transport: inproc (goroutines and channels) or tcp (real sockets)")
 		rank       = flag.Int("rank", -1, "with -transport tcp and -peers: this process's rank; each rank runs its own fgsort process")
 		peersArg   = flag.String("peers", "", "with -transport tcp: comma-separated host:port listen address per rank (the same list in every process); empty runs all ranks in-process over loopback")
+		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat interval for peer failure detection; a peer silent for 10 intervals is declared dead and the job aborted (0 = off)")
+		ckptDir    = flag.String("checkpoint-dir", "", "commit a checkpoint after each pass under this directory and resume from it on restart (the same directory in every process)")
+		supervise  = flag.Int("supervise", 1, "run the job under a supervisor that retries up to this many attempts on peer death or abort, resuming from checkpoints (1 = no supervisor)")
 	)
 	flag.Parse()
 
@@ -82,6 +92,18 @@ func main() {
 		}
 	default:
 		log.Fatalf("fgsort: unknown -transport %q (want inproc or tcp)", *transport)
+	}
+
+	if *heartbeat > 0 {
+		pr.Health = cluster.HealthConfig{Interval: *heartbeat}
+	}
+	pr.CheckpointDir = *ckptDir
+	if *supervise < 1 {
+		log.Fatalf("fgsort: -supervise must be >= 1, got %d", *supervise)
+	}
+	if *supervise > 1 {
+		pr.Supervise = *supervise
+		pr.SuperviseLog = os.Stderr
 	}
 
 	obs, finish, err := harness.ObserveCLI(*metrics, *traceOut, *statusAddr, *stallAfter)

@@ -2,6 +2,7 @@ package colsort
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/fg-go/fg/cluster"
@@ -52,38 +53,98 @@ func RunBuffers(n *cluster.Node, pl Plan, buffers int) (oocsort.Result, error) {
 	res := oocsort.Result{Program: "csort"}
 	barrier := n.Comm("csort.barrier")
 
-	passes := []struct {
-		name string
-		run  func() error
-	}{
-		{"pass1", func() error {
+	passes := []colPass{
+		{"csort.pass1", []string{tempFile1}, func() error {
 			return pl.runTransposePass(n, "csort.p1", pl.Spec.InputName, tempFile1, buffers,
 				// Step 2: column-major rank m = j*R + i lands at row-major
 				// rank m, in column m mod S.
 				func(j, i int) int { return (j*pl.R + i) % pl.S })
 		}},
-		{"pass2", func() error {
+		{"csort.pass2", []string{tempFile2}, func() error {
 			return pl.runTransposePass(n, "csort.p2", tempFile1, tempFile2, buffers,
 				// Step 4: row-major rank q = i*S + j lands at column-major
 				// rank q, in column q div R.
 				func(j, i int) int { return (i*pl.S + j) / pl.R })
 		}},
-		{"pass3", func() error {
+		{"csort.pass3", nil, func() error {
 			return pl.runMergePass(n, tempFile2, buffers)
 		}},
 	}
-	for _, pass := range passes {
-		barrier.Barrier()
-		start := time.Now()
-		if err := pass.run(); err != nil {
-			return res, fmt.Errorf("colsort: %s on node %d: %w", pass.name, n.Rank(), err)
-		}
-		barrier.Barrier()
-		res.Passes = append(res.Passes, oocsort.PassTiming{Name: pass.name, Duration: time.Since(start)})
+	if err := pl.runPasses(n, barrier, &res, passes); err != nil {
+		return res, err
 	}
 	n.Disk.Remove(tempFile1)
 	n.Disk.Remove(tempFile2)
 	return res, nil
+}
+
+// A colPass is one pass of a columnsort variant: its checkpoint key, the
+// files it materializes (nil for the final, output-writing pass, which is
+// never checkpointed — rerunning it from the previous boundary is the
+// recovery a supervisor wants), and the pass body.
+type colPass struct {
+	name      string
+	artifacts []string
+	run       func() error
+}
+
+// runPasses drives a columnsort pass sequence with checkpoint/restart at
+// every interior boundary. With a Checkpoint configured it first finds the
+// highest pass every rank holds a valid checkpoint for — the vote is
+// collective, so all ranks resume (or not) together — restores that pass's
+// artifacts, and runs only the remainder; each completed interior pass is
+// checkpointed before its closing barrier, so once any rank has entered
+// pass i+1, every rank's pass-i checkpoint is committed.
+func (pl Plan) runPasses(n *cluster.Node, barrier *cluster.Comm, res *oocsort.Result, passes []colPass) error {
+	first := 0
+	if pl.Checkpoint != nil {
+		for i := len(passes) - 1; i >= 0 && first == 0; i-- {
+			if passes[i].artifacts == nil {
+				continue
+			}
+			if !oocsort.AgreeResume(barrier, pl.Checkpoint.Completed(n.Rank(), passes[i].name)) {
+				continue
+			}
+			start := time.Now()
+			if _, err := oocsort.RestorePass(pl.Checkpoint, n, passes[i].name); err != nil {
+				return fmt.Errorf("colsort: restoring %s on node %d: %w", passes[i].name, n.Rank(), err)
+			}
+			for _, p := range passes[:i] {
+				res.Passes = append(res.Passes, oocsort.PassTiming{Name: passName(p.name)})
+				res.Resumed = append(res.Resumed, passName(p.name))
+			}
+			res.Passes = append(res.Passes,
+				oocsort.PassTiming{Name: passName(passes[i].name), Duration: time.Since(start)})
+			res.Resumed = append(res.Resumed, passName(passes[i].name))
+			first = i + 1
+		}
+	}
+	for _, pass := range passes[first:] {
+		barrier.Barrier()
+		start := time.Now()
+		if err := pass.run(); err != nil {
+			return fmt.Errorf("colsort: %s on node %d: %w", passName(pass.name), n.Rank(), err)
+		}
+		if pl.Checkpoint != nil && pass.artifacts != nil {
+			if err := oocsort.SavePass(pl.Checkpoint, n, pass.name, nil, pass.artifacts...); err != nil {
+				return fmt.Errorf("colsort: checkpointing %s on node %d: %w", passName(pass.name), n.Rank(), err)
+			}
+		}
+		barrier.Barrier()
+		res.Passes = append(res.Passes,
+			oocsort.PassTiming{Name: passName(pass.name), Duration: time.Since(start)})
+	}
+	return nil
+}
+
+// passName strips the program prefix from a checkpoint key, recovering the
+// short pass name Results have always reported ("pass1", not
+// "csort.pass1").
+func passName(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
 }
 
 // runTransposePass runs one read-sort-communicate-permute-write pass. dest

@@ -2,7 +2,6 @@ package colsort
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/fg"
@@ -43,29 +42,20 @@ func RunFourPassBuffers(n *cluster.Node, pl Plan, buffers int) (oocsort.Result, 
 	res := oocsort.Result{Program: "csort4"}
 	barrier := n.Comm("csort4.barrier")
 
-	passes := []struct {
-		name string
-		run  func() error
-	}{
-		{"pass1", func() error {
+	passes := []colPass{
+		{"csort4.pass1", []string{tempFile4p1}, func() error {
 			return pl.runTransposePass(n, "csort4.p1", pl.Spec.InputName, tempFile4p1, buffers,
 				func(j, i int) int { return (j*pl.R + i) % pl.S })
 		}},
-		{"pass2", func() error {
+		{"csort4.pass2", []string{tempFile4p2}, func() error {
 			return pl.runTransposePass(n, "csort4.p2", tempFile4p1, tempFile4p2, buffers,
 				func(j, i int) int { return (i*pl.S + j) / pl.R })
 		}},
-		{"pass3", func() error { return pl.runShiftPass(n, tempFile4p2, tempFile4p3, buffers) }},
-		{"pass4", func() error { return pl.runUnshiftPass(n, tempFile4p3, buffers) }},
+		{"csort4.pass3", []string{tempFile4p3}, func() error { return pl.runShiftPass(n, tempFile4p2, tempFile4p3, buffers) }},
+		{"csort4.pass4", nil, func() error { return pl.runUnshiftPass(n, tempFile4p3, buffers) }},
 	}
-	for _, pass := range passes {
-		barrier.Barrier()
-		start := time.Now()
-		if err := pass.run(); err != nil {
-			return res, fmt.Errorf("colsort: four-pass %s on node %d: %w", pass.name, n.Rank(), err)
-		}
-		barrier.Barrier()
-		res.Passes = append(res.Passes, oocsort.PassTiming{Name: pass.name, Duration: time.Since(start)})
+	if err := pl.runPasses(n, barrier, &res, passes); err != nil {
+		return res, err
 	}
 	n.Disk.Remove(tempFile4p1)
 	n.Disk.Remove(tempFile4p2)

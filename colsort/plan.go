@@ -30,6 +30,14 @@ type Plan struct {
 	// per pass per node), putting all of them on one trace timeline and
 	// metrics registry. Nil observes nothing and costs nothing.
 	Observe *fg.Observe
+
+	// Checkpoint, if non-nil, records each interior pass's output matrix
+	// after the pass completes, and lets a restarted job resume at the
+	// highest pass boundary every rank holds a valid checkpoint for
+	// (decided collectively with oocsort.AgreeResume). The final pass,
+	// which writes the striped output, is never checkpointed. Nil disables
+	// checkpointing.
+	Checkpoint fg.Checkpoint
 }
 
 // NewPlan validates a job against the columnsort constraints and returns

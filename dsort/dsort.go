@@ -15,6 +15,7 @@
 package dsort
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -66,6 +67,16 @@ type Config struct {
 	// per pass per node), putting all of them on one trace timeline and
 	// metrics registry. Nil observes nothing and costs nothing.
 	Observe *fg.Observe
+
+	// Checkpoint, if non-nil, records pass 1's result (the sorted runs
+	// file and the run lengths) after the pass-1 barrier, and lets a
+	// restarted job skip sampling and pass 1 entirely: at startup every
+	// rank votes with the validity of its own checkpoint, and on a
+	// unanimous yes (oocsort.AgreeResume) the runs are restored instead of
+	// recomputed. Pass 2 is never checkpointed — it is the final pass, and
+	// rerunning it from restored runs is exactly the recovery the
+	// supervisor wants. Nil disables checkpointing.
+	Checkpoint fg.Checkpoint
 }
 
 // diskStage wraps a disk-touching round stage with the configured retry
@@ -141,23 +152,49 @@ func Run(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 	barrier := n.Comm("dsort.barrier")
 
 	barrier.Barrier()
+	var runLens []int
+	if cfg.Checkpoint != nil &&
+		oocsort.AgreeResume(barrier, cfg.Checkpoint.Completed(n.Rank(), "dsort.pass1")) {
+		// Every rank holds a valid pass-1 checkpoint: restore the sorted
+		// runs and skip sampling and pass 1. The splitters are not needed
+		// again — pass 2 runs entirely off the runs and their lengths.
+		start := time.Now()
+		var err error
+		runLens, err = restorePass1(n, cfg)
+		if err != nil {
+			return res, fmt.Errorf("dsort: restoring pass 1 on node %d: %w", n.Rank(), err)
+		}
+		barrier.Barrier()
+		res.Passes = append(res.Passes,
+			oocsort.PassTiming{Name: "sampling"},
+			oocsort.PassTiming{Name: "pass1", Duration: time.Since(start)})
+		res.Resumed = append(res.Resumed, "pass1")
+	} else {
+		start := time.Now()
+		splitters, err := selectSplitters(n, cfg)
+		if err != nil {
+			return res, fmt.Errorf("dsort: sampling on node %d: %w", n.Rank(), err)
+		}
+		barrier.Barrier()
+		res.Passes = append(res.Passes, oocsort.PassTiming{Name: "sampling", Duration: time.Since(start)})
+
+		start = time.Now()
+		runLens, err = pass1(n, cfg, splitters)
+		if err != nil {
+			return res, fmt.Errorf("dsort: pass 1 on node %d: %w", n.Rank(), err)
+		}
+		if cfg.Checkpoint != nil {
+			// Saved before the barrier: once any rank enters pass 2, every
+			// rank's pass-1 checkpoint is committed.
+			if err := savePass1(n, cfg, runLens); err != nil {
+				return res, fmt.Errorf("dsort: checkpointing pass 1 on node %d: %w", n.Rank(), err)
+			}
+		}
+		barrier.Barrier()
+		res.Passes = append(res.Passes, oocsort.PassTiming{Name: "pass1", Duration: time.Since(start)})
+	}
+
 	start := time.Now()
-	splitters, err := selectSplitters(n, cfg)
-	if err != nil {
-		return res, fmt.Errorf("dsort: sampling on node %d: %w", n.Rank(), err)
-	}
-	barrier.Barrier()
-	res.Passes = append(res.Passes, oocsort.PassTiming{Name: "sampling", Duration: time.Since(start)})
-
-	start = time.Now()
-	runLens, err := pass1(n, cfg, splitters)
-	if err != nil {
-		return res, fmt.Errorf("dsort: pass 1 on node %d: %w", n.Rank(), err)
-	}
-	barrier.Barrier()
-	res.Passes = append(res.Passes, oocsort.PassTiming{Name: "pass1", Duration: time.Since(start)})
-
-	start = time.Now()
 	if err := pass2(n, cfg, runLens); err != nil {
 		return res, fmt.Errorf("dsort: pass 2 on node %d: %w", n.Rank(), err)
 	}
@@ -166,4 +203,28 @@ func Run(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 
 	n.Disk.Remove(runsFile)
 	return res, nil
+}
+
+// savePass1 checkpoints the pass-1 boundary: the sorted-runs file and the
+// run lengths pass 2 needs to find them.
+func savePass1(n *cluster.Node, cfg Config, runLens []int) error {
+	state, err := json.Marshal(runLens)
+	if err != nil {
+		return err
+	}
+	return oocsort.SavePass(cfg.Checkpoint, n, "dsort.pass1", state, runsFile)
+}
+
+// restorePass1 imports the checkpointed runs back onto the node's disk and
+// returns the run lengths.
+func restorePass1(n *cluster.Node, cfg Config) ([]int, error) {
+	state, err := oocsort.RestorePass(cfg.Checkpoint, n, "dsort.pass1")
+	if err != nil {
+		return nil, err
+	}
+	var runLens []int
+	if err := json.Unmarshal(state, &runLens); err != nil {
+		return nil, fmt.Errorf("run lengths corrupt: %w", err)
+	}
+	return runLens, nil
 }

@@ -86,8 +86,19 @@ func Retry(fn RoundFunc, p RetryPolicy) RoundFunc {
 	return func(ctx *Ctx, b *Buffer) error {
 		delay := p.BaseDelay
 		for attempt := 1; ; attempt++ {
+			select {
+			case <-ctx.nw.done:
+				// The network is already failing or canceled; starting
+				// another attempt would only burn the budget against a
+				// pipeline that cannot accept the result.
+				return retryAbandoned(ctx.nw)
+			default:
+			}
 			t0 := time.Now()
 			err := p.attempt(ctx, fn, b)
+			if errors.Is(err, errShutdown) {
+				return retryAbandoned(ctx.nw)
+			}
 			if err == nil || IsPermanent(err) {
 				return err
 			}
@@ -100,7 +111,7 @@ func Retry(fn RoundFunc, p RetryPolicy) RoundFunc {
 			case <-t.C:
 			case <-ctx.nw.done:
 				t.Stop()
-				return err // network is shutting down; stop retrying
+				return retryAbandoned(ctx.nw)
 			}
 			// One retry event spans the failed attempt and its backoff.
 			ctx.nw.traceRetry(ctx.stage, b.pipe, b.Round, t0)
@@ -110,6 +121,18 @@ func Retry(fn RoundFunc, p RetryPolicy) RoundFunc {
 			}
 		}
 	}
+}
+
+// retryAbandoned is what a Retry-wrapped stage returns when the network
+// shuts down under it: the network's own failure (the context error when a
+// RunContext was canceled), marked permanent so no layer above retries an
+// attempt the pipeline can no longer accept.
+func retryAbandoned(nw *Network) error {
+	err := nw.Err()
+	if err == nil {
+		err = errShutdown
+	}
+	return Permanent(fmt.Errorf("fg: retry abandoned: %w", err))
 }
 
 // attempt runs one attempt of fn, bounded by AttemptTimeout if set. A

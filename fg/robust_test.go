@@ -397,3 +397,112 @@ func TestPermanentMarker(t *testing.T) {
 		t.Error("wrapped Permanent not recognized")
 	}
 }
+
+// A canceled run context must end a Retry-wrapped stage promptly: the
+// wrapper returns the context error marked permanent instead of burning the
+// remaining attempt budget against a network that can no longer accept a
+// result. This exercises the AttemptTimeout path, where the in-flight
+// attempt is abandoned the moment the network shuts down.
+func TestRetryCanceledContextAbandonsInFlightAttempt(t *testing.T) {
+	check.NoLeakedGoroutines(t)
+	release := make(chan struct{})
+	defer close(release)
+	var attempts atomic.Int32
+	started := make(chan struct{})
+	var once sync.Once
+	var stageErr atomic.Value
+	inner := fg.Retry(func(ctx *fg.Ctx, b *fg.Buffer) error {
+		attempts.Add(1)
+		once.Do(func() { close(started) })
+		<-release // I/O the context cannot interrupt
+		return errors.New("transient")
+	}, fg.RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond, AttemptTimeout: 10 * time.Second})
+	nw := fg.NewNetwork("retry-cancel-inflight")
+	p := nw.AddPipeline("main", fg.Buffers(2), fg.BufferBytes(8), fg.Rounds(1))
+	p.AddStage("hung", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		err := inner(ctx, b)
+		stageErr.Store(err)
+		return err
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- nw.RunContext(ctx) }()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return promptly after cancel; the attempt was not abandoned")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("canceled run burned %d attempts, want 1", got)
+	}
+	err, _ := stageErr.Load().(error)
+	if err == nil {
+		t.Fatal("wrapped stage never returned")
+	}
+	if !fg.IsPermanent(err) {
+		t.Errorf("abandoned retry returned a non-permanent error: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("abandoned retry lost the context error: %v", err)
+	}
+}
+
+// Same contract on the backoff path: when an attempt fails after the
+// network has already shut down, the wrapper must not classify the failure
+// as transient — it returns the context error, permanent, with no further
+// attempts.
+func TestRetryCanceledContextSkipsBackoffAttempts(t *testing.T) {
+	check.NoLeakedGoroutines(t)
+	var attempts atomic.Int32
+	started := make(chan struct{})
+	var once sync.Once
+	release := make(chan struct{})
+	var stageErr atomic.Value
+	inner := fg.Retry(func(ctx *fg.Ctx, b *fg.Buffer) error {
+		attempts.Add(1)
+		once.Do(func() { close(started) })
+		<-release // held until the test has canceled the context
+		return errors.New("transient")
+	}, fg.RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond})
+	nw := fg.NewNetwork("retry-cancel-backoff")
+	p := nw.AddPipeline("main", fg.Buffers(2), fg.BufferBytes(8), fg.Rounds(1))
+	p.AddStage("flaky", func(ctx *fg.Ctx, b *fg.Buffer) error {
+		err := inner(ctx, b)
+		stageErr.Store(err)
+		return err
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- nw.RunContext(ctx) }()
+	<-started
+	cancel()
+	// Release the attempt only once the cancellation has reached the
+	// network, so its transient failure lands on a dead network.
+	for nw.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("canceled run burned %d attempts, want 1", got)
+	}
+	err, _ := stageErr.Load().(error)
+	if err == nil {
+		t.Fatal("wrapped stage never returned")
+	}
+	if !fg.IsPermanent(err) {
+		t.Errorf("abandoned retry returned a non-permanent error: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("abandoned retry lost the context error: %v", err)
+	}
+}

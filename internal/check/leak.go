@@ -20,21 +20,30 @@ const modulePath = "github.com/fg-go/fg"
 func NoLeakedGoroutines(t *testing.T) {
 	t.Helper()
 	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		var leaked []string
-		for {
-			leaked = moduleGoroutines()
-			if len(leaked) == 0 {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
+		if leaked := LeakedGoroutines(5 * time.Second); len(leaked) > 0 {
+			t.Errorf("check: %d goroutine(s) leaked:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
 		}
-		t.Errorf("check: %d goroutine(s) leaked:\n%s",
-			len(leaked), strings.Join(leaked, "\n\n"))
 	})
+}
+
+// LeakedGoroutines polls until no goroutine is running this module's code
+// or the timeout elapses, then returns the stacks of the stragglers (nil if
+// everything unwound). It is the assertion behind NoLeakedGoroutines,
+// exported separately for sacrificial child processes that must police
+// their own shutdown without a testing.T.
+func LeakedGoroutines(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaked := moduleGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // moduleGoroutines returns the stacks of live goroutines (other than the
@@ -56,6 +65,12 @@ func moduleGoroutines() []string {
 			continue // the current goroutine, running this check
 		}
 		if !strings.Contains(g, modulePath) {
+			continue
+		}
+		if strings.Contains(g, "testing.(*M).Run") {
+			// The main goroutine of a package with its own TestMain carries a
+			// module frame for the whole run; it is the test driver, never a
+			// leak.
 			continue
 		}
 		out = append(out, g)

@@ -10,6 +10,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -39,6 +40,15 @@ type Config struct {
 	// disk op that neither completes nor errors — which a watchdog must
 	// detect. Exactly one operation hangs per injector.
 	HangOn int64
+	// KillOn, if positive, SIGKILLs the whole process on the KillOn-th
+	// candidate operation — the real thing, not a simulation: no deferred
+	// functions run, no connections are closed gracefully, the kernel
+	// reaps the process mid-write. It is the chaos plan behind the
+	// process-kill tests: a child process runs with KillOn set, the parent
+	// watches it vanish, and the survivors' heartbeat detectors must
+	// notice. Meaningless (and dangerous) outside a sacrificial child
+	// process; never set it in the test-runner process itself.
+	KillOn int64
 }
 
 // A Fault is an injected error. It is transient by construction: retrying
@@ -91,6 +101,10 @@ func (in *Injector) Op(op string) error {
 	}
 	in.mu.Lock()
 	in.ops++
+	if in.cfg.KillOn > 0 && in.ops == in.cfg.KillOn {
+		in.mu.Unlock()
+		kill()
+	}
 	hangNow := in.cfg.HangOn > 0 && in.ops == in.cfg.HangOn
 	if hangNow {
 		in.hung++
@@ -185,6 +199,54 @@ func (in *Injector) NetHook(action cluster.NetFault, minBytes int) cluster.NetFa
 			return action
 		}
 		return cluster.NetFaultNone
+	}
+}
+
+// kill delivers SIGKILL to this process. os.Process.Kill sends SIGKILL on
+// Unix, which cannot be caught or cleaned up after — exactly the abrupt
+// death the resilience layer must survive. The select backstop keeps the
+// goroutine from returning in the instant before the signal lands.
+func kill() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	select {}
+}
+
+// PartitionChurn simulates a flapping network link to one rank: the rank is
+// partitioned (frames and heartbeats silently dropped at every receiver)
+// for down, healed for up, repeated cycles times — or until the returned
+// stop function is called, which also waits for the churn goroutine and
+// heals the partition. cycles <= 0 churns until stopped. Pair a churn of
+// down < the cluster's DeadAfter with a running job to prove transient
+// partitions do not kill anyone; push down past DeadAfter to prove
+// sustained ones do.
+func PartitionChurn(c *cluster.Cluster, rank int, down, up time.Duration, cycles int) (stop func()) {
+	stopc := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer c.SetPartitioned(rank, false)
+		for i := 0; cycles <= 0 || i < cycles; i++ {
+			c.SetPartitioned(rank, true)
+			select {
+			case <-time.After(down):
+			case <-stopc:
+				return
+			}
+			c.SetPartitioned(rank, false)
+			select {
+			case <-time.After(up):
+			case <-stopc:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopc) })
+		<-done
 	}
 }
 

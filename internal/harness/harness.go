@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"github.com/fg-go/fg/oocsort"
 	"github.com/fg-go/fg/pdm"
 	"github.com/fg-go/fg/records"
+	"github.com/fg-go/fg/supervise"
 	"github.com/fg-go/fg/workload"
 )
 
@@ -61,6 +63,30 @@ type Params struct {
 	// before the program runs — the hook chaos tests use to install
 	// network fault injectors (cluster.SetNetFault).
 	OnCluster func(*cluster.Cluster)
+
+	// Health enables heartbeat failure detection on every cluster the
+	// harness builds: a peer silent past the dead threshold aborts the job
+	// with cluster.ErrPeerDead instead of stalling it. The zero value
+	// disables detection.
+	Health cluster.HealthConfig
+
+	// CheckpointDir, if non-empty, roots a fg.DirCheckpoint there and
+	// hands it to every program run, so completed passes are saved and a
+	// restarted run resumes at the last pass boundary every rank
+	// checkpointed. The directory must be shared by all processes of a
+	// multi-process job (same path on one machine, for the loopback TCP
+	// jobs the tests run).
+	CheckpointDir string
+
+	// Supervise, if greater than 1, wraps each Run in supervise.Run with
+	// that many total attempts: a run that dies retryably (peer death,
+	// abort, comm error) is torn down, backed off, rebuilt, and resumed
+	// from checkpoints. 0 or 1 runs the program exactly once, as before.
+	Supervise int
+
+	// SuperviseLog, if non-nil, receives the supervisor's per-attempt
+	// progress lines.
+	SuperviseLog io.Writer
 }
 
 // instrument wires the Observe bundle into a freshly built cluster. The
@@ -167,7 +193,17 @@ func (pr Params) NewCluster() (*cluster.Cluster, error) {
 		Disk:      pr.Disk,
 		Network:   pr.Network,
 		Transport: pr.Transport,
+		Health:    pr.Health,
 	})
+}
+
+// checkpoint opens the configured checkpoint store, or returns nil when
+// checkpointing is off.
+func (pr Params) checkpoint() (fg.Checkpoint, error) {
+	if pr.CheckpointDir == "" {
+		return nil, nil
+	}
+	return fg.NewDirCheckpoint(pr.CheckpointDir)
 }
 
 // Program identifies a sorting program the harness can run.
@@ -183,9 +219,37 @@ const (
 // Run executes one program on a fresh cluster under the given distribution
 // and returns node 0's result (barriers make it cluster-representative),
 // with traffic totals attached. buffers <= 0 selects each program's
-// default pool size.
+// default pool size. With Supervise > 1 the run is driven by the job
+// supervisor: a retryable failure tears the cluster down and a fresh
+// attempt resumes from the checkpoints in CheckpointDir.
 func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (oocsort.Result, error) {
+	if pr.Supervise <= 1 {
+		return pr.runOnce(prog, dist, buffers)
+	}
+	var res oocsort.Result
+	rep := supervise.Run(supervise.Job{
+		Name: fmt.Sprintf("%s/%v", prog, dist),
+		Run: func(int) ([]string, error) {
+			var err error
+			res, err = pr.runOnce(prog, dist, buffers)
+			return res.Resumed, err
+		},
+	}, supervise.Policy{
+		MaxAttempts: pr.Supervise,
+		Observe:     pr.Observe,
+		Log:         pr.SuperviseLog,
+	})
+	return res, rep.Err
+}
+
+// runOnce is one unsupervised attempt: fresh cluster, input, program,
+// verification, teardown.
+func (pr Params) runOnce(prog Program, dist workload.Distribution, buffers int) (oocsort.Result, error) {
 	spec, err := pr.Spec(dist)
+	if err != nil {
+		return oocsort.Result{}, err
+	}
+	ck, err := pr.checkpoint()
 	if err != nil {
 		return oocsort.Result{}, err
 	}
@@ -218,6 +282,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
 			cfg.Parallelism = pr.Parallelism
 			cfg.Observe = pr.Observe
+			cfg.Checkpoint = ck
 			if buffers > 0 {
 				cfg.Buffers = buffers
 			}
@@ -237,6 +302,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 			}
 			pl.Parallelism = pr.Parallelism
 			pl.Observe = pr.Observe
+			pl.Checkpoint = ck
 			b := colsort.DefaultPipelineBuffers
 			if buffers > 0 {
 				b = buffers
@@ -464,6 +530,11 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 	cfg := dsort.DefaultConfig(spec, pr.Nodes)
 	cfg.Parallelism = pr.Parallelism
 	cfg.Observe = pr.Observe
+	if ck, err := pr.checkpoint(); err != nil {
+		return oocsort.Result{}, err
+	} else {
+		cfg.Checkpoint = ck
+	}
 	mutate(&cfg)
 	results := make([]oocsort.Result, pr.Nodes)
 	err = c.Run(func(n *cluster.Node) error {

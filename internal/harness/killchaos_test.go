@@ -1,0 +1,226 @@
+package harness
+
+// The kill -9 acceptance test for the resilience stack: a two-process dsort
+// over real TCP loses rank 1 to SIGKILL in the middle of pass 2 — after
+// every rank has committed its pass-1 checkpoint — and must finish anyway.
+// The pieces under test, end to end:
+//
+//   - rank 0's heartbeat detector notices the silence and aborts the
+//     attempt with a PeerDeathError (no watchdog is armed; nothing else
+//     would end the wait promptly);
+//   - rank 0's supervisor tears the attempt down, backs off, and retries;
+//   - a replacement rank-1 process joins at the same address, both ranks
+//     vote to resume from the shared checkpoint directory, and pass 2 runs
+//     again from the pass-1 run files;
+//   - the ranks verify the output collectively (check.DistributedOutput
+//     inside the harness), and each process polices its own goroutine
+//     shutdown before exiting 0.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/internal/check"
+	"github.com/fg-go/fg/internal/faultinject"
+	"github.com/fg-go/fg/pdm"
+	"github.com/fg-go/fg/workload"
+)
+
+// childExitLeak: the job succeeded but module goroutines were still alive
+// after a generous unwind window.
+const childExitLeak = 5
+
+// runKillChild is one rank of the kill-chaos job, configured by
+// environment: FG_KILL_CHILD_RANK, FG_TCP_PEERS, FG_KILL_CKPT (the shared
+// checkpoint directory), and — only in the sacrificial first rank-1
+// process — FG_KILL_ON, the 1-based output-file disk operation to die on.
+func runKillChild() int {
+	rank, err := strconv.Atoi(os.Getenv("FG_KILL_CHILD_RANK"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad FG_KILL_CHILD_RANK: %v\n", err)
+		return 2
+	}
+	pr := tcpChildParams(rank, strings.Split(os.Getenv("FG_TCP_PEERS"), ","))
+	pr.CheckpointDir = os.Getenv("FG_KILL_CKPT")
+	pr.Supervise = 3
+	pr.SuperviseLog = os.Stderr
+	// Slow the simulated disks so each pass spans many heartbeat intervals:
+	// the victim must live long enough to be heard from (warming the control
+	// connections), so that its death is detected on the DeadAfter path
+	// rather than waited out under startup grace.
+	pr.Disk = pdm.DiskModel{SeekLatency: 200 * time.Microsecond, BytesPerSecond: 200e3}
+	pr.Health = cluster.HealthConfig{
+		Interval:     25 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+		DeadAfter:    600 * time.Millisecond,
+		// Generous: the replacement process and rank 0's retry attempt find
+		// each other on their own schedule.
+		StartupGrace: 30 * time.Second,
+	}
+	spec, err := pr.Spec(workload.Uniform)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spec: %v\n", err)
+		return 2
+	}
+	if v := os.Getenv("FG_KILL_ON"); v != "" {
+		killOn, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad FG_KILL_ON: %v\n", err)
+			return 2
+		}
+		// Scope the injector to the output file: dsort touches it only in
+		// pass 2, so candidate #1 is the first pass-2 output write — by
+		// which point the pass-1 closing barrier guarantees every rank's
+		// pass-1 checkpoint is committed. SIGKILL lands mid-write.
+		inj := faultinject.New(faultinject.Config{KillOn: killOn})
+		hook := inj.DiskHook(spec.OutputName)
+		pr.OnCluster = func(c *cluster.Cluster) {
+			for _, n := range c.Local() {
+				n.Disk.SetFault(hook)
+			}
+		}
+	}
+	res, err := pr.Run(Dsort, workload.Uniform, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsort over tcp: %v\n", err)
+		return childExitRunError
+	}
+	if leaked := check.LeakedGoroutines(5 * time.Second); len(leaked) > 0 {
+		fmt.Fprintf(os.Stderr, "leaked %d goroutine(s):\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		return childExitLeak
+	}
+	fmt.Printf("resumed=%s\n", strings.Join(res.Resumed, ","))
+	return 0
+}
+
+// watchBuf is an io.Writer that accumulates output and signals (once) when
+// a marker substring appears — how the parent sequences the replacement
+// spawn off the supervisor's own progress lines.
+type watchBuf struct {
+	mu    sync.Mutex
+	b     bytes.Buffer
+	match string
+	seen  chan struct{}
+	once  sync.Once
+}
+
+func newWatchBuf(match string) *watchBuf {
+	return &watchBuf{match: match, seen: make(chan struct{})}
+}
+
+func (w *watchBuf) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.b.Write(p)
+	if w.match != "" && strings.Contains(w.b.String(), w.match) {
+		w.once.Do(func() { close(w.seen) })
+	}
+	return len(p), nil
+}
+
+func (w *watchBuf) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// spawnKillChild starts one rank of the kill-chaos job. stderr goes to the
+// given watchBuf so the parent can react to supervisor lines as they appear.
+func spawnKillChild(t *testing.T, rank int, peers []string, ckpt string, stderr *watchBuf, extraEnv ...string) *tcpChild {
+	t.Helper()
+	ch := &tcpChild{done: make(chan error, 1)}
+	ch.cmd = exec.Command(os.Args[0], "-test.run=^$")
+	ch.cmd.Dir = t.TempDir()
+	ch.cmd.Stdout = &ch.stdout
+	ch.cmd.Stderr = stderr
+	ch.cmd.Env = append(os.Environ(),
+		"FG_KILL_CHILD_RANK="+strconv.Itoa(rank),
+		"FG_TCP_PEERS="+strings.Join(peers, ","),
+		"FG_KILL_CKPT="+ckpt,
+	)
+	ch.cmd.Env = append(ch.cmd.Env, extraEnv...)
+	if err := ch.cmd.Start(); err != nil {
+		t.Fatalf("start rank %d: %v", rank, err)
+	}
+	go func() { ch.done <- ch.cmd.Wait() }()
+	t.Cleanup(func() { ch.cmd.Process.Kill() })
+	return ch
+}
+
+// TestTwoProcessDsortTCPKillDashNine: rank 1 of a two-process TCP dsort is
+// SIGKILLed mid-pass-2; heartbeats detect it, the supervisor retries, a
+// replacement rank-1 process resumes from the pass-1 checkpoint, and the
+// job completes with collectively verified output and clean shutdowns.
+func TestTwoProcessDsortTCPKillDashNine(t *testing.T) {
+	peers := make([]string, 2)
+	for i := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		peers[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ckpt := t.TempDir()
+
+	stderr0 := newWatchBuf("attempt 1: failed")
+	rank0 := spawnKillChild(t, 0, peers, ckpt, stderr0)
+	victimErr := newWatchBuf("")
+	victim := spawnKillChild(t, 1, peers, ckpt, victimErr, "FG_KILL_ON=1")
+
+	// The victim must die by signal, not exit by its own will.
+	if code := waitChild(t, 1, victim, 60*time.Second); code != -1 {
+		t.Fatalf("sacrificial rank 1 exited %d, want SIGKILL (-1)\nstderr:\n%s",
+			code, victimErr.String())
+	}
+
+	// Spawn the replacement only after rank 0's supervisor has logged the
+	// failed attempt: by then attempt 1's cluster (listener included) is
+	// fully closed, so the replacement can only ever join attempt 2 — no
+	// frame can be swallowed by a dying cluster instance.
+	select {
+	case <-stderr0.seen:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("rank 0 never reported a failed attempt\nstderr:\n%s", stderr0.String())
+	}
+	replErr := newWatchBuf("")
+	repl := spawnKillChild(t, 1, peers, ckpt, replErr)
+
+	if code := waitChild(t, 1, repl, 120*time.Second); code != 0 {
+		t.Fatalf("replacement rank 1 exited %d\nstderr:\n%s", code, replErr.String())
+	}
+	if code := waitChild(t, 0, rank0, 120*time.Second); code != 0 {
+		t.Fatalf("rank 0 exited %d\nstderr:\n%s", code, stderr0.String())
+	}
+
+	out0 := stderr0.String()
+	// Millisecond-scale silence proves the DeadAfter path fired: the victim
+	// was heard from while alive, so its death was aged against the dead
+	// threshold, not waited out under the (much longer) startup grace.
+	if !regexp.MustCompile(`declared dead after \d+ms`).MatchString(out0) {
+		t.Errorf("rank 0 did not declare heartbeat death within the dead threshold:\n%s", out0)
+	}
+	if !strings.Contains(out0, "retrying in") {
+		t.Errorf("rank 0's supervisor never retried:\n%s", out0)
+	}
+	for _, ch := range []struct {
+		name   string
+		stdout string
+	}{{"rank 0", rank0.stdout.String()}, {"replacement rank 1", repl.stdout.String()}} {
+		if !strings.Contains(ch.stdout, "resumed=pass1") {
+			t.Errorf("%s did not resume from the pass-1 checkpoint: stdout %q", ch.name, ch.stdout)
+		}
+	}
+	t.Logf("rank 0 supervisor log:\n%s", out0)
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/internal/check"
+	"github.com/fg-go/fg/workload"
+)
+
+// fastHealth is a failure-detector calibration tight enough for unit tests:
+// death declared ~150ms after silence, with a generous startup grace so a
+// slow test runner never sees a false positive on ranks that were simply
+// not scheduled yet.
+func fastHealth() cluster.HealthConfig {
+	return cluster.HealthConfig{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 50 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+		StartupGrace: 5 * time.Second,
+	}
+}
+
+// TestCheckpointResumeSkipsCompletedPasses reruns a checkpointed job in the
+// same directory and expects the second run to skip straight past every
+// checkpointed pass while still producing verified output.
+func TestCheckpointResumeSkipsCompletedPasses(t *testing.T) {
+	cases := []struct {
+		prog    Program
+		resumed []string
+	}{
+		{Dsort, []string{"pass1"}},
+		{Csort, []string{"pass1", "pass2"}},
+		{Csort4, []string{"pass1", "pass2", "pass3"}},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.prog), func(t *testing.T) {
+			pr := tinyParams()
+			pr.CheckpointDir = t.TempDir()
+			first, err := pr.Run(tc.prog, workload.Uniform, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(first.Resumed) != 0 {
+				t.Errorf("fresh run resumed %v", first.Resumed)
+			}
+			second, err := pr.Run(tc.prog, workload.Uniform, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(second.Resumed, ",") != strings.Join(tc.resumed, ",") {
+				t.Errorf("second run resumed %v, want %v", second.Resumed, tc.resumed)
+			}
+		})
+	}
+	check.NoLeakedGoroutines(t)
+}
+
+// TestSupervisedDsortSurvivesPeerDeathMidPass2 is the single-process version
+// of the kill-chaos acceptance test: a dsort run loses rank 2 to a
+// (simulated) partition at the exact moment the first pass-2 output block
+// hits a disk — after every rank has committed its pass-1 checkpoint. The
+// heartbeat detector must convert the silence into a PeerDeathError, the
+// supervisor must tear the attempt down and retry, and the retry must
+// resume from the pass-1 checkpoints and produce verified output.
+func TestSupervisedDsortSurvivesPeerDeathMidPass2(t *testing.T) {
+	pr := tinyParams()
+	pr.CheckpointDir = t.TempDir()
+	pr.Supervise = 3
+	pr.Health = fastHealth()
+	var log bytes.Buffer
+	pr.SuperviseLog = &log
+
+	spec, err := pr.Spec(workload.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm a one-shot trigger: the first write to the output file anywhere in
+	// the cluster partitions rank 2. Output writes happen only in pass 2, and
+	// pass 2 starts only after the pass-1 closing barrier — by which point
+	// every rank's pass-1 checkpoint is committed.
+	var armed atomic.Bool
+	armed.Store(true)
+	pr.OnCluster = func(c *cluster.Cluster) {
+		for _, n := range c.Local() {
+			n.Disk.SetFault(func(op, name string, off int64) error {
+				if op == "write" && name == spec.OutputName && armed.CompareAndSwap(true, false) {
+					c.SetPartitioned(2, true)
+				}
+				return nil
+			})
+		}
+	}
+
+	res, err := pr.Run(Dsort, workload.Uniform, 0)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v\n%s", err, log.String())
+	}
+	if strings.Join(res.Resumed, ",") != "pass1" {
+		t.Errorf("winning attempt resumed %v, want [pass1]", res.Resumed)
+	}
+	s := log.String()
+	if !strings.Contains(s, "declared dead") {
+		t.Errorf("supervisor log does not attribute the failure to peer death:\n%s", s)
+	}
+	if !strings.Contains(s, "retrying in") {
+		t.Errorf("supervisor log shows no retry:\n%s", s)
+	}
+	check.NoLeakedGoroutines(t)
+}

@@ -41,6 +41,9 @@ func TestMain(m *testing.M) {
 	if os.Getenv("FG_TCP_CHILD_RANK") != "" {
 		os.Exit(runTCPChild())
 	}
+	if os.Getenv("FG_KILL_CHILD_RANK") != "" {
+		os.Exit(runKillChild())
+	}
 	os.Exit(m.Run())
 }
 

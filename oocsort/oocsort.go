@@ -131,6 +131,10 @@ type PassTiming struct {
 type Result struct {
 	Program string
 	Passes  []PassTiming
+	// Resumed names the passes skipped by restoring a checkpoint instead
+	// of recomputing; empty for a from-scratch run. A resumed pass still
+	// appears in Passes, its duration being the restore time.
+	Resumed []string
 	// Disk and network traffic accumulated across the whole run.
 	Disk pdm.Counters
 	Comm cluster.CommStats
@@ -190,6 +194,7 @@ func CollectCommStats(c *cluster.Cluster) cluster.CommStats {
 		total.SendBusy += s.SendBusy
 		total.SendWait += s.SendWait
 		total.RecvWait += s.RecvWait
+		total.Reconnects += s.Reconnects
 		n.ResetStats()
 	}
 	return total

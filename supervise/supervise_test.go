@@ -1,0 +1,147 @@
+package supervise_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/supervise"
+)
+
+func fastPolicy() supervise.Policy {
+	return supervise.Policy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+}
+
+func TestRunFirstAttemptSucceeds(t *testing.T) {
+	calls := 0
+	rep := supervise.Run(supervise.Job{Name: "ok", Run: func(attempt int) ([]string, error) {
+		calls++
+		return nil, nil
+	}}, fastPolicy())
+	if rep.Err != nil || calls != 1 || len(rep.Attempts) != 1 {
+		t.Fatalf("first-try success: err=%v calls=%d attempts=%d", rep.Err, calls, len(rep.Attempts))
+	}
+}
+
+func TestRunRetriesPeerDeathThenSucceeds(t *testing.T) {
+	var log bytes.Buffer
+	calls := 0
+	rep := supervise.Run(supervise.Job{Name: "flaky", Run: func(attempt int) ([]string, error) {
+		calls++
+		if attempt < 3 {
+			return nil, &cluster.CommError{Op: "recv", Rank: 0, Peer: 1,
+				Err: &cluster.PeerDeathError{Rank: 1, Silence: time.Second}}
+		}
+		return []string{"pass1"}, nil
+	}}, supervise.Policy{MaxAttempts: 5, BaseBackoff: time.Millisecond, Jitter: 0.5, Log: &log})
+	if rep.Err != nil {
+		t.Fatalf("supervised job failed: %v", rep.Err)
+	}
+	if calls != 3 {
+		t.Errorf("made %d attempts, want 3", calls)
+	}
+	last := rep.Attempts[len(rep.Attempts)-1]
+	if len(last.Resumed) != 1 || last.Resumed[0] != "pass1" {
+		t.Errorf("resumed passes not reported: %+v", last)
+	}
+	s := rep.String()
+	for _, want := range []string{`job "flaky" succeeded after 3 attempt(s)`, "attempt 1: failed", "declared dead", "resumed pass1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(log.String(), "retrying in") {
+		t.Errorf("log missing backoff line:\n%s", log.String())
+	}
+}
+
+func TestRunStopsOnPermanentError(t *testing.T) {
+	boom := errors.New("records malformed")
+	calls := 0
+	rep := supervise.Run(supervise.Job{Name: "doomed", Run: func(int) ([]string, error) {
+		calls++
+		return nil, boom
+	}}, fastPolicy())
+	if calls != 1 {
+		t.Errorf("non-retryable error was attempted %d times, want 1", calls)
+	}
+	if !errors.Is(rep.Err, boom) {
+		t.Errorf("Report.Err = %v, want wrapped %v", rep.Err, boom)
+	}
+}
+
+func TestRunExhaustsBudget(t *testing.T) {
+	calls := 0
+	rep := supervise.Run(supervise.Job{Name: "cursed", Run: func(int) ([]string, error) {
+		calls++
+		return nil, cluster.ErrAborted
+	}}, supervise.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	if calls != 3 {
+		t.Errorf("made %d attempts, want 3", calls)
+	}
+	if rep.Err == nil || !errors.Is(rep.Err, cluster.ErrAborted) {
+		t.Errorf("Report.Err = %v, want wrapped ErrAborted", rep.Err)
+	}
+	if !strings.Contains(rep.Err.Error(), "3 attempt(s)") {
+		t.Errorf("error does not report the attempt count: %v", rep.Err)
+	}
+}
+
+func TestDefaultRetryable(t *testing.T) {
+	peerDeath := &cluster.PeerDeathError{Rank: 1, Silence: time.Second}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("x"), false},
+		{"permanent", fg.Permanent(errors.New("x")), false},
+		{"aborted", cluster.ErrAborted, true},
+		{"peer-death", peerDeath, true},
+		{"comm-error", &cluster.CommError{Op: "send", Err: errors.New("broken pipe")}, true},
+		{"comm-wrapping-death", &cluster.CommError{Op: "recv", Err: peerDeath}, true},
+	}
+	for _, c := range cases {
+		if got := supervise.DefaultRetryable(c.err); got != c.want {
+			t.Errorf("DefaultRetryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunRegistersAttemptMetrics(t *testing.T) {
+	reg := fg.NewMetricsRegistry()
+	obs := &fg.Observe{Metrics: reg}
+	rep := supervise.Run(supervise.Job{Name: "metered", Run: func(attempt int) ([]string, error) {
+		if attempt == 1 {
+			return nil, cluster.ErrAborted
+		}
+		return nil, nil
+	}}, supervise.Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, Observe: obs})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	got := map[string]float64{}
+	for _, s := range reg.Samples() {
+		if strings.HasPrefix(s.Name, "supervise_") {
+			if s.Labels["job"] != "metered" {
+				t.Errorf("sample %s has labels %v, want job=metered", s.Name, s.Labels)
+			}
+			got[s.Name] = s.Value
+		}
+	}
+	want := map[string]float64{
+		"supervise_attempts_total": 2,
+		"supervise_retries_total":  1,
+		"supervise_failures_total": 1,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", name, got[name], v, got)
+		}
+	}
+}
