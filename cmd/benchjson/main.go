@@ -10,6 +10,14 @@
 // Every benchmark line becomes one entry carrying all reported metrics
 // (ns/op, MB/s, B/op, allocs/op, and any custom b.ReportMetric units).
 // Header lines (goos/goarch/cpu/pkg) are captured as environment metadata.
+//
+// With -append-history the same report is additionally appended as one
+// compact JSON line to a history file (BENCH_history.jsonl in CI), stamped
+// with -label (a commit SHA) and the current time, so the perf trajectory
+// accumulates across commits instead of each run overwriting the last:
+//
+//	go test -bench=. ... | go run ./cmd/benchjson -out BENCH_kernels.json \
+//	    -append-history BENCH_history.jsonl -label "$GITHUB_SHA"
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one parsed benchmark line.
@@ -29,8 +38,11 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the whole document.
+// Report is the whole document. Label and Time are set only on history
+// lines.
 type Report struct {
+	Label      string   `json:"label,omitempty"`
+	Time       string   `json:"time,omitempty"`
 	GOOS       string   `json:"goos,omitempty"`
 	GOARCH     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
@@ -40,6 +52,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	history := flag.String("append-history", "", "also append the report as one JSON line to this file")
+	label := flag.String("label", "", "label stamped on the history line (e.g. a commit SHA)")
 	flag.Parse()
 
 	rep := Report{Benchmarks: []Result{}}
@@ -75,6 +89,12 @@ func main() {
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
+	if *history != "" {
+		if err := appendHistory(*history, rep, *label); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return
@@ -83,6 +103,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// appendHistory writes the report as one compact JSON line at the end of
+// path, stamped with the label and the current UTC time.
+func appendHistory(path string, rep Report, label string) error {
+	rep.Label = label
+	rep.Time = time.Now().UTC().Format(time.RFC3339)
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return nil
 }
 
 // parseBenchLine parses one result line of the standard benchmark format:

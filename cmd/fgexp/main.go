@@ -19,6 +19,7 @@ import (
 
 	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/dsort"
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/internal/harness"
 	"github.com/fg-go/fg/internal/splitter"
 	"github.com/fg-go/fg/workload"
@@ -34,6 +35,7 @@ func main() {
 		verify     = flag.Bool("verify", true, "verify every sort's output")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		par        = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		autotune   = flag.Bool("autotune", false, "let a run-time tuner adjust kernel workers and circulating buffers, starting from -parallelism")
 		metrics    = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while experiments run")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of every run (chrome://tracing, Perfetto)")
 		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
@@ -56,6 +58,9 @@ func main() {
 		os.Exit(1)
 	}
 	pr.Parallelism = *par
+	if *autotune {
+		pr.AutoTune = fg.DefaultAutoTune()
+	}
 
 	switch *transport {
 	case "inproc":

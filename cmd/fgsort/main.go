@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/internal/harness"
 	"github.com/fg-go/fg/workload"
 )
@@ -44,6 +45,7 @@ func main() {
 		verify     = flag.Bool("verify", true, "verify the sorted output")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		par        = flag.Int("parallelism", 0, "intra-buffer kernel workers (0 = all cores, 1 = serial)")
+		autotune   = flag.Bool("autotune", false, "let a run-time tuner adjust kernel workers and circulating buffers, starting from -parallelism")
 		metrics    = flag.String("metrics", "", "serve Prometheus metrics on this address (host:port, :0 picks a port) to scrape while the run is in flight")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (chrome://tracing, Perfetto)")
 		statusAddr = flag.String("status-addr", "", "serve live pipeline health on this address (/status text, /status.json)")
@@ -56,6 +58,12 @@ func main() {
 		supervise  = flag.Int("supervise", 1, "run the job under a supervisor that retries up to this many attempts on peer death or abort, resuming from checkpoints (1 = no supervisor)")
 	)
 	flag.Parse()
+
+	// A/B escape hatch for the queue layer (see EXPERIMENTS.md): force the
+	// channel-backed queue build instead of lock-free SPSC rings.
+	if os.Getenv("FGSORT_CHANNEL_QUEUES") != "" {
+		fg.UseChannelQueues(true)
+	}
 
 	dist, err := workload.ParseDistribution(*distArg)
 	if err != nil {
@@ -73,6 +81,9 @@ func main() {
 		log.Fatalf("fgsort: -parallelism must be >= 0, got %d", *par)
 	}
 	pr.Parallelism = *par
+	if *autotune {
+		pr.AutoTune = fg.DefaultAutoTune()
+	}
 
 	switch *transport {
 	case "inproc":

@@ -51,6 +51,7 @@ func Run(n *cluster.Node, pl Plan) (oocsort.Result, error) {
 // overlap ablation uses pool size 1 to serialize the stages.
 func RunBuffers(n *cluster.Node, pl Plan, buffers int) (oocsort.Result, error) {
 	res := oocsort.Result{Program: "csort"}
+	pl.tuner = fg.NewAutoTuner(pl.AutoTune)
 	barrier := n.Comm("csort.barrier")
 
 	passes := []colPass{
@@ -165,6 +166,7 @@ func (pl Plan) runTransposePass(n *cluster.Node, commName, inFile, outFile strin
 	nw.OnFail(func(error) { n.Cluster().Abort() })
 	finish := pl.Observe.Attach(nw)
 	defer finish()
+	defer pl.tuner.Tune(nw)()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -172,8 +174,9 @@ func (pl Plan) runTransposePass(n *cluster.Node, commName, inFile, outFile strin
 		b.N = colBytes
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], int64(b.Round)*int64(colBytes))
 	})
+	sortWorkers := pl.workersFn("sort")
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error {
-		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), sortWorkers())
 		return nil
 	})
 	p.AddStage("communicate", func(ctx *fg.Ctx, b *fg.Buffer) error {
@@ -264,6 +267,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 	nw.OnFail(func(error) { n.Cluster().Abort() })
 	finish := pl.Observe.Attach(nw)
 	defer finish()
+	defer pl.tuner.Tune(nw)()
 	p := nw.AddPipeline("main",
 		fg.Buffers(buffers), fg.BufferBytes(colBytes), fg.Rounds(pl.ColumnsPerNode()))
 
@@ -271,8 +275,9 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 		b.N = colBytes
 		return n.Disk.ReadAt(inFile, b.Data[:colBytes], int64(b.Round)*int64(colBytes))
 	})
+	sortWorkers := pl.workersFn("sort")
 	p.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 5
-		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), pl.Parallelism)
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), sortWorkers())
 		return nil
 	})
 	p.AddStage("shift", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 6
@@ -292,6 +297,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 		b.Meta = m
 		return nil
 	})
+	mergeWorkers := pl.workersFn("merge")
 	p.AddStage("merge", func(ctx *fg.Ctx, b *fg.Buffer) error { // step 7
 		m := b.Meta.(*p3meta)
 		if m.in == nil {
@@ -301,7 +307,7 @@ func (pl Plan) runMergePass(n *cluster.Node, inFile string, buffers int) error {
 			return nil
 		}
 		aux := b.Aux()
-		sortalgo.MergeSortedParallel(f, m.in, b.Data[:halfBytes], aux[:colBytes], pl.Parallelism)
+		sortalgo.MergeSortedParallel(f, m.in, b.Data[:halfBytes], aux[:colBytes], mergeWorkers())
 		b.SwapAux()
 		b.N = colBytes
 		return nil

@@ -26,6 +26,14 @@ type Plan struct {
 	// kernels".
 	Parallelism int
 
+	// AutoTune, when enabled, attaches a run-time self-tuner to every
+	// network csort builds: it samples each pass's bottleneck and pool
+	// occupancy and adjusts the sort and merge stages' worker counts and
+	// the pipeline's circulating-buffer count within the configured bounds.
+	// Parallelism becomes the initial worker count rather than a fixed
+	// one. The zero value disables tuning.
+	AutoTune fg.AutoTune
+
 	// Observe, if non-nil, is attached to every network csort builds (one
 	// per pass per node), putting all of them on one trace timeline and
 	// metrics registry. Nil observes nothing and costs nothing.
@@ -38,6 +46,21 @@ type Plan struct {
 	// which writes the striped output, is never checkpointed. Nil disables
 	// checkpointing.
 	Checkpoint fg.Checkpoint
+
+	// tuner is created once per run from AutoTune and travels with the
+	// Plan's value copies into the passes; nil when tuning is disabled.
+	tuner *fg.AutoTuner
+}
+
+// workersFn returns the per-round worker-count source for the named compute
+// stage: the tuner's knob (one atomic load per round) when AutoTune is
+// enabled, else the static Parallelism.
+func (pl Plan) workersFn(stage string) func() int {
+	if k := pl.tuner.Knob(stage, pl.Parallelism); k != nil {
+		return k.Workers
+	}
+	p := pl.Parallelism
+	return func() int { return p }
 }
 
 // NewPlan validates a job against the columnsort constraints and returns

@@ -1,0 +1,87 @@
+package colsort
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/internal/check"
+	"github.com/fg-go/fg/oocsort"
+	"github.com/fg-go/fg/workload"
+)
+
+// csortOutput runs csort on a fresh simulated cluster and returns the
+// reassembled striped output. Columnsort is oblivious — its comparison
+// pattern is fixed by the geometry, not the data — so the output bytes are
+// deterministic and comparable across builds.
+func csortOutput(t *testing.T, spec oocsort.Spec, p, cpn int) []byte {
+	t.Helper()
+	pl, err := NewPlan(spec, p, cpn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.Config{Nodes: p})
+	if _, err := oocsort.GenerateInput(c, spec); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(node *cluster.Node) error {
+		_, err := Run(node, pl)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := check.ReadOutput(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCsortRingMatchesChannelBytes is the ring-vs-channel equivalence
+// property for csort: for random workload seeds and at GOMAXPROCS 1, 2,
+// and NumCPU, a build on lock-free SPSC rings must produce byte-identical
+// output to a build forced onto channel queues.
+func TestCsortRingMatchesChannelBytes(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range gomaxprocsLevels() {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prevProcs)
+			property := func(seed uint8) bool {
+				spec := oocsort.DefaultSpec()
+				spec.TotalRecords = 1024
+				spec.RecordsPerBlock = 128
+				spec.Distribution = workload.Poisson
+				spec.Seed = int64(seed)
+				ringOut := csortOutput(t, spec, 4, 2)
+				prev := fg.UseChannelQueues(true)
+				chanOut := csortOutput(t, spec, 4, 2)
+				fg.UseChannelQueues(prev)
+				if string(ringOut) != string(chanOut) {
+					t.Logf("seed %d: output differs between ring and channel builds", seed)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(property, &quick.Config{MaxCount: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// gomaxprocsLevels returns {1, 2, NumCPU} without duplicates.
+func gomaxprocsLevels() []int {
+	levels := []int{1}
+	for _, n := range []int{2, runtime.NumCPU()} {
+		if n > levels[len(levels)-1] {
+			levels = append(levels, n)
+		}
+	}
+	return levels
+}

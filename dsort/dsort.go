@@ -63,6 +63,16 @@ type Config struct {
 	// sends are not idempotent. The zero value disables retries.
 	Retry fg.RetryPolicy
 
+	// AutoTune, when enabled, attaches a run-time self-tuner to every
+	// network dsort builds: the tuner samples each network's bottleneck and
+	// pool occupancy and adjusts the compute stages' worker counts (pass
+	// 1's permute and run sort) and each pipeline's circulating-buffer
+	// count within the configured bounds — recovering from a mis-set
+	// Parallelism or Buffers without a restart. Parallelism becomes the
+	// initial worker count rather than a fixed one. The zero value
+	// disables tuning.
+	AutoTune fg.AutoTune
+
 	// Observe, if non-nil, is attached to every network dsort builds (one
 	// per pass per node), putting all of them on one trace timeline and
 	// metrics registry. Nil observes nothing and costs nothing.
@@ -77,6 +87,21 @@ type Config struct {
 	// rerunning it from restored runs is exactly the recovery the
 	// supervisor wants. Nil disables checkpointing.
 	Checkpoint fg.Checkpoint
+
+	// tuner is created once per Run from AutoTune and travels with the
+	// Config's value copies into the passes; nil when tuning is disabled.
+	tuner *fg.AutoTuner
+}
+
+// workersFn returns the per-round worker-count source for the named compute
+// stage: the tuner's knob (one atomic load per round) when AutoTune is
+// enabled, else the static Parallelism.
+func (cfg Config) workersFn(stage string) func() int {
+	if k := cfg.tuner.Knob(stage, cfg.Parallelism); k != nil {
+		return k.Workers
+	}
+	p := cfg.Parallelism
+	return func() int { return p }
 }
 
 // diskStage wraps a disk-touching round stage with the configured retry
@@ -149,6 +174,7 @@ func Run(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 	if err := cfg.Validate(n.P()); err != nil {
 		return res, err
 	}
+	cfg.tuner = fg.NewAutoTuner(cfg.AutoTune)
 	barrier := n.Comm("dsort.barrier")
 
 	barrier.Barrier()

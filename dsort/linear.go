@@ -29,6 +29,7 @@ func RunLinear(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 	if err := cfg.Validate(n.P()); err != nil {
 		return res, err
 	}
+	cfg.tuner = fg.NewAutoTuner(cfg.AutoTune)
 	barrier := n.Comm("dsortlin.barrier")
 
 	barrier.Barrier()
@@ -105,6 +106,7 @@ func pass1Linear(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int
 	nw.OnFail(func(error) { n.Cluster().Abort() })
 	finish := cfg.Observe.Attach(nw)
 	defer finish()
+	defer cfg.tuner.Tune(nw)()
 	pipe := nw.AddPipeline("main",
 		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Rounds(sendRounds))
 	pipe.AddStage("read", func(ctx *fg.Ctx, b *fg.Buffer) error {
@@ -116,7 +118,7 @@ func pass1Linear(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int
 		b.N = f.Bytes(int(cnt))
 		return n.Disk.ReadAt(cfg.Spec.InputName, b.Data[:b.N], off*int64(f.Size))
 	})
-	pipe.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.Parallelism))
+	pipe.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.workersFn("permute")))
 	pipe.AddStage("send", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		counts := b.Meta.([]int)
 		off := 0

@@ -31,17 +31,18 @@ func selectSplitters(n *cluster.Node, cfg Config) ([]records.ExtKey, error) {
 // FG feature the paper's permute stage relies on). The extended key —
 // (key, origin node, input position) — decides each record's partition; it
 // never becomes part of the record. The classification and scatter run on
-// the shared worker pool with up to `workers` executors
-// (sortalgo.PartitionRecords; workers <= 1 is the serial counting sort).
-// The per-partition counts travel with the buffer as its Meta.
-func permuteStage(f records.Format, p, rank, bufRecs int, splitters []records.ExtKey, workers int) fg.RoundFunc {
+// the shared worker pool with up to workers() executors
+// (sortalgo.PartitionRecords; workers <= 1 is the serial counting sort);
+// the count is re-read each round so an auto-tuner knob takes effect
+// mid-run. The per-partition counts travel with the buffer as its Meta.
+func permuteStage(f records.Format, p, rank, bufRecs int, splitters []records.ExtKey, workers func() int) fg.RoundFunc {
 	return func(ctx *fg.Ctx, b *fg.Buffer) error {
 		base := int64(b.Round) * int64(bufRecs)
 		data := b.Bytes()
 		counts := sortalgo.PartitionRecords(f, data, b.Aux()[:b.N], p, func(i int) int {
 			e := records.ExtKey{Key: f.KeyAt(data, i), Node: uint32(rank), Seq: uint64(base) + uint64(i)}
 			return splitter.Partition(splitters, e)
-		}, workers)
+		}, workers())
 		b.SwapAux()
 		b.Meta = counts
 		return nil
@@ -67,6 +68,7 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 	nw.OnFail(func(error) { n.Cluster().Abort() })
 	finish := cfg.Observe.Attach(nw)
 	defer finish()
+	defer cfg.tuner.Tune(nw)()
 
 	send := nw.AddPipeline("send",
 		fg.Buffers(cfg.Buffers), fg.BufferBytes(bufBytes), fg.Rounds(sendRounds))
@@ -79,7 +81,7 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 		b.N = f.Bytes(int(cnt))
 		return n.Disk.ReadAt(cfg.Spec.InputName, b.Data[:b.N], off*int64(size))
 	}))
-	send.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.Parallelism))
+	send.AddStage("permute", permuteStage(f, p, rank, bufRecs, splitters, cfg.workersFn("permute")))
 	send.AddStage("send", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		counts := b.Meta.([]int)
 		off := 0
@@ -129,13 +131,14 @@ func pass1(n *cluster.Node, cfg Config, splitters []records.ExtKey) ([]int, erro
 		}
 		return nil
 	})
+	sortWorkers := cfg.workersFn("sort")
 	recv.AddStage("sort", func(ctx *fg.Ctx, b *fg.Buffer) error {
 		// Each full buffer becomes one sorted run, ordered by the records'
 		// original (non-extended) keys. The multicore radix sort spreads
 		// the buffer across the shared worker pool; while the receive
 		// stage blocks on the network, the sort stage can use the idle
 		// cores.
-		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), cfg.Parallelism)
+		sortalgo.SortRecordsParallel(f, b.Bytes(), b.Aux(), sortWorkers())
 		return nil
 	})
 	// Only the disk write is retried; the run-length bookkeeping must

@@ -59,6 +59,7 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 	nw.OnFail(func(error) { n.Cluster().Abort() })
 	finish := cfg.Observe.Attach(nw)
 	defer finish()
+	defer cfg.tuner.Tune(nw)()
 
 	// Vertical pipelines: one per sorted run, reading the run in small
 	// chunks. All are members of one virtual group, so FG serves their
@@ -72,8 +73,13 @@ func pass2(n *cluster.Node, cfg Config, runLens []int) error {
 			i := i
 			lenBytes := f.Bytes(runLens[i])
 			rounds := (lenBytes + vBufBytes - 1) / vBufBytes
+			// Vertical buffers are small and their read rounds cheap, so the
+			// slot runner conveys them toward the merge two at a time — the
+			// batched hand-off publishes once per pair, and flushes the
+			// moment its input runs dry.
 			verticals[i] = vg.AddPipeline(fmt.Sprintf("run%d", i),
-				fg.Buffers(3), fg.BufferBytes(vBufBytes), fg.Rounds(rounds))
+				fg.Buffers(3), fg.BufferBytes(vBufBytes), fg.Rounds(rounds),
+				fg.Batch(2))
 			verticals[i].AddStage("read", cfg.diskStage(func(ctx *fg.Ctx, b *fg.Buffer) error {
 				off := b.Round * vBufBytes
 				cnt := vBufBytes

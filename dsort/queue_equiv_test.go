@@ -1,0 +1,94 @@
+package dsort
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
+	"github.com/fg-go/fg/internal/check"
+	"github.com/fg-go/fg/oocsort"
+	"github.com/fg-go/fg/workload"
+)
+
+// dsortKeySequence runs dsort on a fresh simulated cluster and returns the
+// key of every output record in global PDM order. dsort's output *bytes*
+// are not comparable across runs — the arrival order of equal-keyed records
+// depends on message timing — but the sorted key sequence is fully
+// determined by the input.
+func dsortKeySequence(t *testing.T, cfg Config, p int) []uint64 {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: p})
+	if _, err := oocsort.GenerateInput(c, cfg.Spec); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Run(func(node *cluster.Node) error {
+		_, err := Run(node, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := check.ReadOutput(c, cfg.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Spec.Format
+	keys := make([]uint64, f.Count(len(out)))
+	for i := range keys {
+		keys[i] = f.KeyAt(out, i)
+	}
+	return keys
+}
+
+// TestDsortRingMatchesChannelKeys is the ring-vs-channel equivalence
+// property for dsort: for random workload seeds and at GOMAXPROCS 1, 2, and
+// NumCPU, a build on lock-free SPSC rings must deliver the same sorted key
+// sequence as a build forced onto channel queues. The two builds are
+// supposed to be semantically identical; this is the test that keeps them
+// so.
+func TestDsortRingMatchesChannelKeys(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range gomaxprocsLevels() {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prevProcs)
+			property := func(seed uint8) bool {
+				cfg := testConfig(1<<12, 4, 16, workload.Poisson)
+				cfg.Spec.Seed = int64(seed)
+				ringKeys := dsortKeySequence(t, cfg, 4)
+				prev := fg.UseChannelQueues(true)
+				chanKeys := dsortKeySequence(t, cfg, 4)
+				fg.UseChannelQueues(prev)
+				if len(ringKeys) != len(chanKeys) {
+					t.Logf("seed %d: %d keys on rings, %d on channels", seed, len(ringKeys), len(chanKeys))
+					return false
+				}
+				for i := range ringKeys {
+					if ringKeys[i] != chanKeys[i] {
+						t.Logf("seed %d: key %d differs between ring and channel builds", seed, i)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(property, &quick.Config{MaxCount: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// gomaxprocsLevels returns {1, 2, NumCPU} without duplicates.
+func gomaxprocsLevels() []int {
+	levels := []int{1}
+	for _, n := range []int{2, runtime.NumCPU()} {
+		if n > levels[len(levels)-1] {
+			levels = append(levels, n)
+		}
+	}
+	return levels
+}

@@ -1,0 +1,172 @@
+package fg
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAutoTunerNilIsOff: the nil tuner is the documented "tuning off"
+// object — every method must be callable and inert.
+func TestAutoTunerNilIsOff(t *testing.T) {
+	tn := NewAutoTuner(AutoTune{})
+	if tn != nil {
+		t.Fatal("disabled AutoTune produced a live tuner")
+	}
+	if k := tn.Knob("sort", 2); k != nil {
+		t.Error("nil tuner handed out a knob")
+	}
+	var k *Knob
+	if w := k.Workers(); w != 0 {
+		t.Errorf("nil knob Workers = %d, want 0 (all cores)", w)
+	}
+	if n := tn.Adjustments(); n != 0 {
+		t.Errorf("nil tuner Adjustments = %d", n)
+	}
+	tn.OnAdjust(func(string, int, int) {})
+	stop := tn.Tune(nil)
+	stop()
+	if s := tn.String(); s != "autotune: off" {
+		t.Errorf("nil tuner String = %q", s)
+	}
+}
+
+// TestAutoTuneEnabled: the zero value is disabled; any set field enables.
+func TestAutoTuneEnabled(t *testing.T) {
+	if (AutoTune{}).Enabled() {
+		t.Error("zero AutoTune reports enabled")
+	}
+	for _, cfg := range []AutoTune{{Min: 1}, {Max: 8}, {Interval: time.Second}} {
+		if !cfg.Enabled() {
+			t.Errorf("%+v reports disabled", cfg)
+		}
+	}
+	if !DefaultAutoTune().Enabled() {
+		t.Error("DefaultAutoTune reports disabled")
+	}
+}
+
+// TestKnobInitialClamping: initial worker counts are clamped to [Min, Max],
+// with <= 0 meaning "all cores" (Max), and the same name returns the same
+// knob.
+func TestKnobInitialClamping(t *testing.T) {
+	tn := NewAutoTuner(AutoTune{Min: 2, Max: 4, Interval: time.Second})
+	cases := []struct {
+		initial, want int
+	}{{0, 4}, {1, 2}, {3, 3}, {99, 4}, {-5, 4}}
+	for i, c := range cases {
+		k := tn.Knob(string(rune('a'+i)), c.initial)
+		if got := k.Workers(); got != c.want {
+			t.Errorf("Knob(initial=%d).Workers = %d, want %d", c.initial, got, c.want)
+		}
+	}
+	if tn.Knob("a", 3) != tn.Knob("a", 99) {
+		t.Error("same knob name returned distinct knobs")
+	}
+}
+
+// TestAutoTunerRaisesBottleneckWorkers: a pipeline whose wall clock is
+// governed by one busy stage must see that stage's knob raised. The stage
+// reads its knob every round — exactly how dsort and colsort kernels are
+// wired — and the pipeline stops once the tuner has acted.
+func TestAutoTunerRaisesBottleneckWorkers(t *testing.T) {
+	tn := NewAutoTuner(AutoTune{Min: 1, Max: 4, Interval: 2 * time.Millisecond})
+	k := tn.Knob("kernel", 1)
+	if k.Workers() != 1 {
+		t.Fatalf("knob starts at %d, want 1", k.Workers())
+	}
+
+	nw := NewNetwork("tune")
+	p := nw.AddPipeline("main", Buffers(2), BufferBytes(8), Unlimited())
+	p.AddStage("kernel", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(time.Millisecond) // near-100% utilization: the bottleneck
+		if k.Workers() > 1 {
+			p.Stop()
+		}
+		return nil
+	})
+
+	var mu sync.Mutex
+	var adjusted []string
+	tn.OnAdjust(func(knob string, from, to int) {
+		mu.Lock()
+		adjusted = append(adjusted, knob)
+		mu.Unlock()
+	})
+	defer tn.Tune(nw)()
+
+	errc := make(chan error, 1)
+	go func() { errc <- nw.Run() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tuner never raised the bottleneck knob")
+	}
+	if w := k.Workers(); w < 2 || w > 4 {
+		t.Errorf("knob settled at %d, want within (1, Max=4]", w)
+	}
+	if tn.Adjustments() == 0 {
+		t.Error("Adjustments = 0 after an observed raise")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawKernel bool
+	for _, name := range adjusted {
+		if name == "kernel" {
+			sawKernel = true
+		}
+	}
+	if !sawKernel {
+		t.Errorf("OnAdjust never reported the kernel knob; got %v", adjusted)
+	}
+}
+
+// TestAutoTunerRaisesBuffersWhenPoolDry: a pipeline squeezed to one
+// effective buffer keeps its pool empty, which the tuner must read as "give
+// it back a buffer" — immediately, no streak required.
+func TestAutoTunerRaisesBuffersWhenPoolDry(t *testing.T) {
+	tn := NewAutoTuner(AutoTune{Min: 1, Max: 1, Interval: 2 * time.Millisecond})
+
+	nw := NewNetwork("tunebuf")
+	p := nw.AddPipeline("main", Buffers(4), BufferBytes(8), Unlimited())
+	p.SetEffectiveBuffers(1)
+	p.AddStage("slow", func(ctx *Ctx, b *Buffer) error {
+		time.Sleep(time.Millisecond)
+		if p.EffectiveBuffers() > 1 {
+			p.Stop()
+		}
+		return nil
+	})
+	defer tn.Tune(nw)()
+
+	errc := make(chan error, 1)
+	go func() { errc <- nw.Run() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tuner never re-injected buffers into a dry pool")
+	}
+	if eff := p.EffectiveBuffers(); eff < 2 {
+		t.Errorf("EffectiveBuffers settled at %d, want > 1", eff)
+	}
+	if tn.Adjustments() == 0 {
+		t.Error("Adjustments = 0 after an observed buffer raise")
+	}
+}
+
+// TestAutoTunerString renders bounds and knobs.
+func TestAutoTunerString(t *testing.T) {
+	tn := NewAutoTuner(AutoTune{Min: 1, Max: 2, Interval: time.Second})
+	tn.Knob("sort", 2)
+	s := tn.String()
+	if !strings.Contains(s, "[1,2]") || !strings.Contains(s, "sort=2") {
+		t.Errorf("String = %q, want bounds and knob settings", s)
+	}
+}

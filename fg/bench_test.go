@@ -3,6 +3,9 @@ package fg
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"github.com/fg-go/fg/internal/spsc"
 )
 
 // benchPipeline measures raw framework overhead: rounds through a pipeline
@@ -74,6 +77,102 @@ func BenchmarkObservability(b *testing.B) {
 		}
 		b.StopTimer()
 		close(stop)
+	})
+}
+
+// BenchmarkQueueHandoff pins the raw cost of one inter-stage hand-off on
+// each queue implementation: a producer and a consumer goroutine ping-pong
+// one buffer through a forward and a return queue, so every iteration is
+// two pushes and two pops on the fast path — exactly the steady state of a
+// straight-line pipeline. The buffer payload size is carried along to show
+// the hand-off cost is pointer-sized regardless. The ring's steady state
+// must stay at 0 allocs/op (enforced by cmd/benchgate against the
+// committed baseline).
+func BenchmarkQueueHandoff(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() queue
+	}{
+		{"chan", func() queue { return &chanQueue{ch: make(chan *Buffer, 4)} }},
+		{"ring", func() queue { return &ringQueue{r: spsc.New[*Buffer](4)} }},
+	}
+	for _, impl := range impls {
+		for _, size := range []int{16, 64 << 10} {
+			name := fmt.Sprintf("%s-16B", impl.name)
+			if size > 16 {
+				name = fmt.Sprintf("%s-64KiB", impl.name)
+			}
+			b.Run(name, func(b *testing.B) {
+				fwd, ret := impl.mk(), impl.mk()
+				done := make(chan struct{})
+				consumerDone := make(chan struct{})
+				go func() {
+					defer close(consumerDone)
+					for {
+						buf, err := fwd.pop(done)
+						if err != nil || buf.caboose {
+							return
+						}
+						if ret.push(buf, done) != nil {
+							return
+						}
+					}
+				}()
+				buf := &Buffer{Data: make([]byte, size)}
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := fwd.push(buf, done); err != nil {
+						b.Fatal(err)
+					}
+					var err error
+					if buf, err = ret.pop(done); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				_ = fwd.push(&Buffer{caboose: true}, done)
+				<-consumerDone
+			})
+		}
+	}
+}
+
+// BenchmarkAutotuneOverhead pins the cost of the self-tuning scheduler on
+// the same trivial pipeline as BenchmarkObservability: "off" is the plain
+// build (no tuner — and must match BenchmarkObservability/off), "on" runs
+// with an attached AutoTuner sampling at its default interval and a knob
+// read by every round — the configuration -autotune enables.
+func BenchmarkAutotuneOverhead(b *testing.B) {
+	build := func(rounds int, k *Knob) *Network {
+		nw := NewNetwork("bench")
+		p := nw.AddPipeline("main", Buffers(4), BufferBytes(64), Rounds(rounds))
+		for s := 0; s < 3; s++ {
+			p.AddStage("s", func(ctx *Ctx, b *Buffer) error {
+				_ = k.Workers()
+				return nil
+			})
+		}
+		return nw
+	}
+	b.Run("off", func(b *testing.B) {
+		nw := build(b.N, nil) // nil knob: the untuned one-branch read
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := nw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		tn := NewAutoTuner(AutoTune{Min: 1, Max: 4, Interval: 100 * time.Millisecond})
+		nw := build(b.N, tn.Knob("s", 1))
+		defer tn.Tune(nw)()
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := nw.Run(); err != nil {
+			b.Fatal(err)
+		}
 	})
 }
 

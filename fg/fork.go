@@ -125,7 +125,7 @@ type forkRuntime struct {
 	f *Fork
 	// branchQ[i][j] feeds branch i's stage j; the final queue of each
 	// branch is the join stage's spine input queue.
-	branchQ [][]*queue
+	branchQ [][]queue
 }
 
 // buildForkRuntimes validates and wires a pipeline's fork regions. The
@@ -144,11 +144,14 @@ func (g *group) buildForkRuntimes() ([]*forkRuntime, error) {
 	}
 	var rts []*forkRuntime
 	for _, f := range p.forks {
-		rt := &forkRuntime{f: f, branchQ: make([][]*queue, len(f.branches))}
+		rt := &forkRuntime{f: f, branchQ: make([][]queue, len(f.branches))}
 		for i, chain := range f.branches {
-			qs := make([]*queue, len(chain))
+			qs := make([]queue, len(chain))
 			for j := range chain {
-				qs[j] = newQueue(p.nBuffers + 1)
+				// Branch queues always have one producer (the fork stage or
+				// the previous branch stage) and one consumer (the branch
+				// stage), so they are always ring-eligible.
+				qs[j] = newQueue(p.nBuffers+1, true)
 			}
 			rt.branchQ[i] = qs
 		}
@@ -159,7 +162,7 @@ func (g *group) buildForkRuntimes() ([]*forkRuntime, error) {
 
 // branchEntry returns the queue feeding the first stage of branch i, which
 // is the join input queue when the branch is empty (a bypass).
-func (rt *forkRuntime) branchEntry(i int, g *group) *queue {
+func (rt *forkRuntime) branchEntry(i int, g *group) queue {
 	if len(rt.branchQ[i]) > 0 {
 		return rt.branchQ[i][0]
 	}
@@ -217,7 +220,7 @@ func runBranchStage(nw *Network, g *group, rt *forkRuntime, branch, idx int) {
 	s := rt.f.branches[branch][idx]
 	defer nw.recoverPanic(s.name)
 	in := rt.branchQ[branch][idx]
-	var out *queue
+	var out queue
 	if idx+1 < len(rt.branchQ[branch]) {
 		out = rt.branchQ[branch][idx+1]
 	} else {

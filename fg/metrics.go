@@ -153,6 +153,7 @@ func emitNetwork(st NetworkStats, emit EmitFunc) {
 		emit("fg_pipeline_buffer_bytes", l(), float64(p.BufferBytes))
 		emit("fg_pipeline_pool_idle", l(), float64(p.PoolIdle))
 		emit("fg_pipeline_pool_cap", l(), float64(p.PoolCap))
+		emit("fg_pipeline_buffers_effective", l(), float64(p.EffectiveBuffers))
 	}
 	for _, s := range st.Stages {
 		l := func() map[string]string {
@@ -162,23 +163,28 @@ func emitNetwork(st NetworkStats, emit EmitFunc) {
 		emit("fg_stage_work_seconds_total", l(), s.Work.Seconds())
 		emit("fg_stage_wait_seconds_total", l(), s.AcceptWait.Seconds())
 		emit("fg_stage_queue_len", l(), float64(s.QueueLen))
+		emit("fg_stage_queue_cap", l(), float64(s.QueueCap))
+		emit("fg_stage_queue_slow_push_total", l(), float64(s.SlowPushes))
 	}
 }
 
 // metricHelp documents the metrics this package emits; collectors may emit
 // names outside this table (they get a generic HELP line).
 var metricHelp = map[string]string{
-	"fg_network_running":          "1 while the network's Run is in flight",
-	"fg_network_wall_seconds":     "elapsed run time (live) or final run duration",
-	"fg_pipeline_rounds_total":    "buffers emitted by the pipeline's source",
-	"fg_pipeline_buffer_bytes":    "capacity of each of the pipeline's buffers",
-	"fg_pipeline_pool_idle":       "buffers sitting idle in the pipeline's pool",
-	"fg_pipeline_pool_cap":        "capacity of the pipeline's buffer pool",
-	"fg_stage_rounds_total":       "buffers accepted by the stage",
-	"fg_stage_work_seconds_total": "time spent inside the stage function",
-	"fg_stage_wait_seconds_total": "time the stage spent blocked waiting to accept",
-	"fg_stage_queue_len":          "buffers waiting in the stage's input queue",
-	"fg_trace_dropped_total":      "trace events discarded because the tracer was full",
+	"fg_network_running":             "1 while the network's Run is in flight",
+	"fg_network_wall_seconds":        "elapsed run time (live) or final run duration",
+	"fg_pipeline_rounds_total":       "buffers emitted by the pipeline's source",
+	"fg_pipeline_buffer_bytes":       "capacity of each of the pipeline's buffers",
+	"fg_pipeline_pool_idle":          "buffers sitting idle in the pipeline's pool",
+	"fg_pipeline_pool_cap":           "capacity of the pipeline's buffer pool",
+	"fg_pipeline_buffers_effective":  "pool buffers the source currently keeps circulating (auto-tuned)",
+	"fg_stage_rounds_total":          "buffers accepted by the stage",
+	"fg_stage_work_seconds_total":    "time spent inside the stage function",
+	"fg_stage_wait_seconds_total":    "time the stage spent blocked waiting to accept",
+	"fg_stage_queue_len":             "buffers waiting in the stage's input queue",
+	"fg_stage_queue_cap":             "capacity of the stage's input queue",
+	"fg_stage_queue_slow_push_total": "pushes into the stage's input queue that missed the non-blocking fast path (invariant violations)",
+	"fg_trace_dropped_total":         "trace events discarded because the tracer was full",
 }
 
 // WritePrometheus writes the current samples in Prometheus text exposition

@@ -23,8 +23,14 @@ type Pipeline struct {
 	forks    []*Fork
 	openFork *Fork
 
+	batch int // buffers conveyed per hand-off by this pipeline's round stages
+
 	stop    atomic.Bool
 	emitted atomic.Int64
+
+	// effBuffers is the number of buffers the source keeps circulating,
+	// adjustable mid-run (see SetEffectiveBuffers); <= 0 means all nBuffers.
+	effBuffers atomic.Int32
 }
 
 // An Option configures a pipeline at creation.
@@ -71,6 +77,25 @@ func Unlimited() Option {
 	return func(p *Pipeline) { p.rounds = -1 }
 }
 
+// Batch asks the pipeline's round stages to convey up to k processed
+// buffers per queue hand-off instead of one, amortizing the per-message
+// cost on pipelines whose rounds are small (many small buffers, cheap
+// stage functions). Batching is opportunistic and never delays data: a
+// stage accumulates a batch only while more input is already queued, and
+// flushes the moment its input runs dry, its batch fills, or the stream
+// ends — so ordering, caboose placement, and overlap are exactly those of
+// the unbatched build. It applies to spine round stages (the runSlot
+// runner); free, fork, and replicated stages hand off singly. The default
+// is 1 (no batching).
+func Batch(k int) Option {
+	return func(p *Pipeline) {
+		if k < 1 {
+			panic(fmt.Sprintf("fg: pipeline %q: batch must be at least 1, got %d", p.name, k))
+		}
+		p.batch = k
+	}
+}
+
 const (
 	defaultBuffers  = 3
 	defaultBufBytes = 64 << 10
@@ -84,6 +109,7 @@ func newPipeline(nw *Network, g *group, name string, opts []Option) *Pipeline {
 		bufBytes: defaultBufBytes,
 		nBuffers: defaultBuffers,
 		rounds:   -1,
+		batch:    1,
 	}
 	for _, o := range opts {
 		o(p)
@@ -106,6 +132,38 @@ func (p *Pipeline) NumBuffers() int { return p.nBuffers }
 
 // Rounds returns the configured round count, or -1 if unlimited.
 func (p *Pipeline) Rounds() int { return p.rounds }
+
+// EffectiveBuffers returns how many of the pipeline's buffers the source
+// currently keeps circulating (see SetEffectiveBuffers); NumBuffers unless
+// lowered.
+func (p *Pipeline) EffectiveBuffers() int {
+	n := int(p.effBuffers.Load())
+	if n < 1 || n > p.nBuffers {
+		return p.nBuffers
+	}
+	return n
+}
+
+// SetEffectiveBuffers asks the source to keep only n of the pipeline's
+// NumBuffers circulating, parking the rest; raising it re-injects parked
+// buffers. n is clamped to [1, NumBuffers]. It is safe to call at any
+// time, including mid-run from another goroutine — the auto-tuner uses it
+// to trim pool slack a pipeline is not using and to give it back the
+// moment the pool runs dry. The pipeline's memory bound stays NumBuffers ×
+// BufferBytes; only the circulating count changes.
+func (p *Pipeline) SetEffectiveBuffers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.nBuffers {
+		n = p.nBuffers
+	}
+	p.effBuffers.Store(int32(n))
+	select {
+	case p.group.wake <- struct{}{}:
+	default:
+	}
+}
 
 // AddStage appends a round stage: fn is called once per buffer, and the
 // framework accepts the buffer beforehand and conveys it afterward.
@@ -171,9 +229,11 @@ type group struct {
 	pipes   []*Pipeline
 	virtual bool
 
-	queues []*queue     // queues[i] feeds stage i; queues[len(stages)] feeds the sink
+	queues []queue      // queues[i] feeds stage i; queues[len(stages)] feeds the sink
 	pool   chan *Buffer // recycled buffers, all members mixed
 	wake   chan struct{}
+
+	batch int // max member batch size, applied by the slot runners
 
 	// built is stored true once queues and pool exist, so a concurrent
 	// Stats snapshot knows it may read their occupancy (the atomic store
@@ -241,9 +301,51 @@ func (g *group) build() error {
 			}
 		}
 	}
-	g.queues = make([]*queue, nStages+1)
+	// Queue selection: a lock-free SPSC ring wherever exactly one goroutine
+	// produces and one consumes, a channel otherwise. The producer of
+	// queues[0] is the single source goroutine and the consumer of the last
+	// queue is the single sink goroutine; the goroutine serving position i
+	// is single (runSlot, runFree, runFork, runJoin) unless the stage is
+	// replicated (n workers share the queues, and they push the circulating
+	// caboose back into their input queue) — and a join's input queue is
+	// fed by every branch tail plus the fork's bypass. So queues[i] is SPSC
+	// unless the stage at i is replicated or a join, or the stage at i-1 is
+	// replicated.
+	spscAt := func(i int) bool {
+		for _, p := range g.pipes {
+			if i < nStages {
+				s := p.stages[i]
+				if s.replicas > 1 || s.join != nil {
+					return false
+				}
+			}
+			if i > 0 {
+				if p.stages[i-1].replicas > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	g.queues = make([]queue, nStages+1)
 	for i := range g.queues {
-		g.queues[i] = newQueue(totalBufs + len(g.pipes) + maxBranches)
+		g.queues[i] = newQueue(totalBufs+len(g.pipes)+maxBranches, spscAt(i))
+	}
+	// A push that misses the fast path is an invariant violation; surface
+	// it in the flight recorder, tagged with the edge's consumer.
+	for i := range g.queues {
+		consumer := "sink"
+		if i < nStages {
+			consumer = g.pipes[0].stages[i].name
+		}
+		name := consumer
+		g.queues[i].onSlowPush(func() { g.nw.noteSlowPush(g.name, name) })
+	}
+	g.batch = 1
+	for _, p := range g.pipes {
+		if p.batch > g.batch {
+			g.batch = p.batch
+		}
 	}
 	if err := g.validateReplicas(); err != nil {
 		return err
@@ -273,6 +375,11 @@ func (g *group) runSource() {
 	type state struct {
 		emitted int
 		caboose bool
+		// circulating counts this pipeline's buffers currently in flight;
+		// parked holds allocated buffers withheld from circulation because
+		// the pipeline's effective buffer count is below its pool size.
+		circulating int
+		parked      []*Buffer
 	}
 	states := make(map[*Pipeline]*state, len(g.pipes))
 
@@ -310,46 +417,80 @@ func (g *group) runSource() {
 	}
 
 	// Initial injection: each member's whole pool, capped at its rounds.
+	// Buffers beyond the pipeline's effective count are allocated (the
+	// memory bound is the configured pool size) but parked, entering
+	// circulation only if the effective count is raised.
 	live := 0
 	for _, p := range g.pipes {
 		states[p] = &state{}
+		st := states[p]
 		for i := 0; i < p.nBuffers; i++ {
 			if !wantsMore(p) {
 				break
 			}
-			if !emit(p, &Buffer{Data: make([]byte, p.bufBytes), pipe: p}) {
+			b := &Buffer{Data: make([]byte, p.bufBytes), pipe: p}
+			if st.circulating >= p.EffectiveBuffers() {
+				st.parked = append(st.parked, b)
+				continue
+			}
+			if !emit(p, b) {
 				return
 			}
+			st.circulating++
 		}
 		closeout(p)
-		if !states[p].caboose {
+		if !st.caboose {
 			live++
 		}
+	}
+	// topUp re-injects parked buffers while the pipeline is below its
+	// effective count; the wake channel fires after SetEffectiveBuffers.
+	topUp := func(p *Pipeline) bool {
+		st := states[p]
+		for st.circulating < p.EffectiveBuffers() && len(st.parked) > 0 && wantsMore(p) {
+			b := st.parked[len(st.parked)-1]
+			st.parked = st.parked[:len(st.parked)-1]
+			if !emit(p, b) {
+				return false
+			}
+			st.circulating++
+		}
+		return true
 	}
 
 	for live > 0 {
 		select {
 		case b := <-g.pool:
 			p := b.pipe
-			if states[p].caboose {
+			st := states[p]
+			if st.caboose {
 				continue // late recycle after caboose; retire the buffer
 			}
 			if wantsMore(p) {
-				if !emit(p, b) {
+				if st.circulating > p.EffectiveBuffers() {
+					// The effective count dropped; park the recycled buffer
+					// instead of re-injecting it.
+					st.circulating--
+					st.parked = append(st.parked, b)
+				} else if !emit(p, b) {
 					return
 				}
 			}
 			closeout(p)
-			if states[p].caboose {
+			if st.caboose {
 				live--
 			}
 		case <-g.wake:
 			for _, p := range g.pipes {
-				if !states[p].caboose {
-					closeout(p)
-					if states[p].caboose {
-						live--
-					}
+				if states[p].caboose {
+					continue
+				}
+				if !topUp(p) {
+					return
+				}
+				closeout(p)
+				if states[p].caboose {
+					live--
 				}
 			}
 		case <-g.nw.done:

@@ -1,6 +1,11 @@
 package fg
 
-import "errors"
+import (
+	"errors"
+	"sync/atomic"
+
+	"github.com/fg-go/fg/internal/spsc"
+)
 
 // errShutdown is returned by queue operations when the network has been
 // aborted; runners treat it as a signal to exit quietly.
@@ -12,23 +17,111 @@ var errShutdown = errors.New("fg: network shut down")
 // as in FG, a stage conveys a buffer and immediately turns around to accept
 // its next one. Backpressure comes from the finite buffer pool, not from
 // the queues.
-type queue struct {
+//
+// Two implementations exist. ringQueue wraps a lock-free SPSC ring
+// (internal/spsc) and is selected by group.build for every queue with
+// exactly one producing and one consuming goroutine — the straight-line
+// segments that carry almost all traffic. chanQueue wraps a buffered Go
+// channel and remains for the edges with more than one goroutine on a side:
+// queues into or out of a replicated stage (n workers share them, and the
+// caboose is pushed back into the input queue) and the input queue of a
+// join (every branch tail plus the fork's bypass pushes into it). Both
+// implementations have identical semantics: FIFO per producer, a
+// non-blocking fast path, and a blocking slow path released by the
+// network's done channel.
+//
+// A push that misses the fast path breaks the sized-to-never-fill
+// invariant; both implementations count it (slowPushes) and invoke the
+// build-time hook so the breach surfaces in stats, metrics, and the flight
+// recorder instead of hiding as latency.
+type queue interface {
+	// push enqueues b, failing only if the network aborts first.
+	push(b *Buffer, done <-chan struct{}) error
+	// pushN enqueues bs in order — the batched hand-off. The ring
+	// implementation publishes the whole batch with one atomic store.
+	pushN(bs []*Buffer, done <-chan struct{}) error
+	// pop dequeues the next buffer, failing if the network aborts while
+	// the queue is empty.
+	pop(done <-chan struct{}) (*Buffer, error)
+	// tryPop dequeues without blocking; ok=false when empty.
+	tryPop() (*Buffer, bool)
+	// len and cap report the queue's occupancy and capacity, safe from any
+	// goroutine (Stats reads them mid-run).
+	len() int
+	cap() int
+	// slowPushes counts pushes that missed the non-blocking fast path —
+	// each one a violation of the sized-to-never-fill invariant.
+	slowPushes() int64
+	// onSlowPush installs a hook called on each fast-path miss (nil
+	// clears). Installed at build time, before any producer runs.
+	onSlowPush(fn func())
+}
+
+// queueModeChannel, when set, forces channel-backed queues everywhere in
+// subsequently built networks. See UseChannelQueues.
+var queueModeChannel atomic.Bool
+
+// UseChannelQueues forces every subsequently built network to carry
+// buffers on Go channels instead of selecting lock-free SPSC rings for
+// single-producer single-consumer segments. It exists for A/B comparison —
+// the ring-vs-channel property tests and the hand-off benchmarks — and as
+// an escape hatch; the two builds are semantically identical. It returns
+// the previous setting; restore it when done:
+//
+//	prev := fg.UseChannelQueues(true)
+//	defer fg.UseChannelQueues(prev)
+func UseChannelQueues(on bool) bool { return queueModeChannel.Swap(on) }
+
+// newQueue creates a queue of the given capacity: a lock-free SPSC ring
+// when spscOK says the queue has one producing and one consuming
+// goroutine, a buffered channel otherwise (or when UseChannelQueues is in
+// force).
+func newQueue(capacity int, spscOK bool) queue {
+	if spscOK && !queueModeChannel.Load() {
+		return &ringQueue{r: spsc.New[*Buffer](capacity)}
+	}
+	return &chanQueue{ch: make(chan *Buffer, capacity)}
+}
+
+// slowCounter is the shared invariant-violation bookkeeping of both queue
+// implementations.
+type slowCounter struct {
+	slow   atomic.Int64
+	onSlow atomic.Pointer[func()]
+}
+
+func (c *slowCounter) noteSlow() {
+	c.slow.Add(1)
+	if fn := c.onSlow.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+func (c *slowCounter) slowPushes() int64 { return c.slow.Load() }
+
+func (c *slowCounter) onSlowPush(fn func()) {
+	if fn == nil {
+		c.onSlow.Store(nil)
+		return
+	}
+	c.onSlow.Store(&fn)
+}
+
+// chanQueue is the channel-backed implementation.
+type chanQueue struct {
 	ch chan *Buffer
+	slowCounter
 }
 
-func newQueue(capacity int) *queue {
-	return &queue{ch: make(chan *Buffer, capacity)}
-}
-
-// push enqueues b, failing only if the network aborts first.
-func (q *queue) push(b *Buffer, done <-chan struct{}) error {
+func (q *chanQueue) push(b *Buffer, done <-chan struct{}) error {
 	select {
 	case q.ch <- b:
 		return nil
 	default:
 	}
-	// The queue should never fill by construction, but guard against abort
-	// rather than blocking forever if an invariant is broken.
+	// The queue should never fill by construction; record the breach, then
+	// guard against abort rather than blocking forever.
+	q.noteSlow()
 	select {
 	case q.ch <- b:
 		return nil
@@ -37,8 +130,16 @@ func (q *queue) push(b *Buffer, done <-chan struct{}) error {
 	}
 }
 
-// pop dequeues the next buffer, failing if the network aborts while empty.
-func (q *queue) pop(done <-chan struct{}) (*Buffer, error) {
+func (q *chanQueue) pushN(bs []*Buffer, done <-chan struct{}) error {
+	for _, b := range bs {
+		if err := q.push(b, done); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (q *chanQueue) pop(done <-chan struct{}) (*Buffer, error) {
 	select {
 	case b := <-q.ch:
 		return b, nil
@@ -51,3 +152,63 @@ func (q *queue) pop(done <-chan struct{}) (*Buffer, error) {
 		return nil, errShutdown
 	}
 }
+
+func (q *chanQueue) tryPop() (*Buffer, bool) {
+	select {
+	case b := <-q.ch:
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+func (q *chanQueue) len() int { return len(q.ch) }
+func (q *chanQueue) cap() int { return cap(q.ch) }
+
+// ringQueue is the lock-free SPSC implementation.
+type ringQueue struct {
+	r *spsc.Ring[*Buffer]
+	slowCounter
+}
+
+func (q *ringQueue) push(b *Buffer, done <-chan struct{}) error {
+	if q.r.TryPush(b) {
+		return nil
+	}
+	q.noteSlow()
+	if err := q.r.Push(b, done); err != nil {
+		return errShutdown
+	}
+	return nil
+}
+
+func (q *ringQueue) pushN(bs []*Buffer, done <-chan struct{}) error {
+	sent := q.r.TryPushN(bs)
+	for sent < len(bs) {
+		// The batch did not fit — the same invariant breach as a blocking
+		// push, counted once per stalled remainder.
+		q.noteSlow()
+		if err := q.r.Push(bs[sent], done); err != nil {
+			return errShutdown
+		}
+		sent++
+		sent += q.r.TryPushN(bs[sent:])
+	}
+	return nil
+}
+
+func (q *ringQueue) pop(done <-chan struct{}) (*Buffer, error) {
+	if b, ok := q.r.TryPop(); ok {
+		return b, nil
+	}
+	b, err := q.r.Pop(done)
+	if err != nil {
+		return nil, errShutdown
+	}
+	return b, nil
+}
+
+func (q *ringQueue) tryPop() (*Buffer, bool) { return q.r.TryPop() }
+
+func (q *ringQueue) len() int { return q.r.Len() }
+func (q *ringQueue) cap() int { return q.r.Cap() }

@@ -26,6 +26,14 @@ type StageStats struct {
 	// queue in front of a stage marks it as the bottleneck; a persistently
 	// empty one means the stage is starved. Zero before the network starts.
 	QueueLen int
+	// QueueCap is that queue's capacity, so occupancy can be read as a
+	// fraction. Zero before the network starts.
+	QueueCap int
+	// SlowPushes counts pushes into the stage's input queue that missed the
+	// non-blocking fast path. Queues are sized so that pushes never block by
+	// construction; a nonzero count is an invariant violation worth
+	// investigating (it also emits a flight-recorder event).
+	SlowPushes int64
 	// State is the stage's instantaneous activity and InState how long it has
 	// been there. A stage Working for seconds with no round progress is stuck
 	// inside its function (a hung disk or comm op, or a deadlock); one
@@ -49,6 +57,11 @@ type PipelineStats struct {
 	// starts.
 	PoolIdle int
 	PoolCap  int
+	// EffectiveBuffers is the number of pool buffers the source currently
+	// keeps circulating — Buffers unless an auto-tuner (or a call to
+	// Pipeline.SetEffectiveBuffers) has parked some of the slack. Equal to
+	// Buffers before the network starts.
+	EffectiveBuffers int
 }
 
 // NetworkStats is a snapshot of a network's activity. It may be taken at
@@ -92,6 +105,7 @@ func (nw *Network) Stats() NetworkStats {
 				BufferBytes: p.bufBytes,
 				Rounds:      p.emitted.Load(),
 			}
+			ps.EffectiveBuffers = p.EffectiveBuffers()
 			if built {
 				ps.PoolIdle = len(g.pool)
 				ps.PoolCap = cap(g.pool)
@@ -123,7 +137,10 @@ func (nw *Network) Stats() NetworkStats {
 					}
 				}
 				if built {
-					ss.QueueLen = len(g.queues[pos].ch)
+					q := g.queues[pos]
+					ss.QueueLen = q.len()
+					ss.QueueCap = q.cap()
+					ss.SlowPushes = q.slowPushes()
 				}
 				st.Stages = append(st.Stages, ss)
 			}
@@ -224,9 +241,9 @@ func (s NetworkStats) String() string {
 		if st.Virtual {
 			flags += " [virtual]"
 		}
-		fmt.Fprintf(&b, "  stage %-20s on %-20s rounds=%6d wait=%-12v work=%-12v queue=%d%s\n",
+		fmt.Fprintf(&b, "  stage %-20s on %-20s rounds=%6d wait=%-12v work=%-12v queue=%d/%d%s\n",
 			st.Stage, st.Pipeline, st.Rounds, st.AcceptWait.Round(time.Microsecond),
-			st.Work.Round(time.Microsecond), st.QueueLen, flags)
+			st.Work.Round(time.Microsecond), st.QueueLen, st.QueueCap, flags)
 	}
 	return b.String()
 }

@@ -62,8 +62,12 @@ func (s NetworkStatus) String() string {
 	}
 	fmt.Fprintf(&b, "network %q: %s, wall %v\n", s.Network, state, s.Wall.Round(time.Millisecond))
 	for _, h := range s.Stages {
-		fmt.Fprintf(&b, "  stage %-20s on %-20s %-14s rounds=%-6d util=%3.0f%% queue=%-3d for %v\n",
-			h.Stage, h.Pipeline, h.State, h.Rounds, 100*h.Utilization, h.QueueLen,
+		fill := fmt.Sprintf("%d", h.QueueLen)
+		if h.QueueCap > 0 {
+			fill = fmt.Sprintf("%d/%d", h.QueueLen, h.QueueCap)
+		}
+		fmt.Fprintf(&b, "  stage %-20s on %-20s %-14s rounds=%-6d util=%3.0f%% queue=%-7s for %v\n",
+			h.Stage, h.Pipeline, h.State, h.Rounds, 100*h.Utilization, fill,
 			h.InState.Round(time.Millisecond))
 	}
 	fmt.Fprintf(&b, "  %s\n", s.Bottleneck)

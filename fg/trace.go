@@ -55,6 +55,12 @@ const (
 	// EventComm covers one communication operation (a cluster send or
 	// receive), recorded through Record by code outside the network.
 	EventComm
+	// EventSlowPush marks an inter-stage queue push that missed its
+	// non-blocking fast path — a violation of the queues' sized-to-never-
+	// fill invariant, recorded (zero-length, into the flight recorder) so
+	// capacity-sizing bugs surface instead of hiding as latency. Stage
+	// names the edge's consumer.
+	EventSlowPush
 )
 
 func (k EventKind) String() string {
@@ -67,6 +73,8 @@ func (k EventKind) String() string {
 		return "retry"
 	case EventComm:
 		return "comm"
+	case EventSlowPush:
+		return "slow-push"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -182,6 +190,21 @@ func (nw *Network) traceRetry(s *Stage, p *Pipeline, round int, start time.Time)
 		return
 	}
 	nw.emitTrace(EventRetry, s, p, round, start, time.Now())
+}
+
+// noteSlowPush records a queue invariant violation — a push that missed
+// its non-blocking fast path — into the flight recorder, as a zero-length
+// event naming the group and the edge's consuming stage. Installed on
+// every queue at build time; the per-queue counter feeds Stats regardless,
+// so the breach is visible even without a flight recorder attached.
+func (nw *Network) noteSlowPush(group, consumer string) {
+	fr := nw.flight
+	if fr == nil {
+		return
+	}
+	now := time.Now()
+	s, e := fr.Span(now, now)
+	fr.Record(Event{Stage: consumer, Pipeline: group, Kind: EventSlowPush, Round: -1, Start: s, End: e})
 }
 
 // Gantt renders the trace as an ASCII chart: one row per stage, time

@@ -62,12 +62,16 @@ const (
 // StageHealth is one stage's classified state in a StallReport or status
 // snapshot.
 type StageHealth struct {
-	Stage    string        `json:"stage"`
-	Pipeline string        `json:"pipeline"`
-	State    string        `json:"state"` // one of the Health... constants
-	Rounds   int64         `json:"rounds"`
-	QueueLen int           `json:"queue_len"`
-	InState  time.Duration `json:"in_state_ns"` // time since the last state transition
+	Stage    string `json:"stage"`
+	Pipeline string `json:"pipeline"`
+	State    string `json:"state"` // one of the Health... constants
+	Rounds   int64  `json:"rounds"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	// SlowPushes counts fast-path misses on the stage's input queue — each
+	// one a breach of the sized-to-never-fill invariant.
+	SlowPushes int64         `json:"slow_pushes,omitempty"`
+	InState    time.Duration `json:"in_state_ns"` // time since the last state transition
 	// Utilization is Work/Wall, filled by the status endpoint (zero in
 	// watchdog reports, where wall time is beside the point).
 	Utilization float64 `json:"utilization,omitempty"`
@@ -103,8 +107,16 @@ func (r StallReport) String() string {
 		fmt.Fprintf(&b, "  %s\n", r.Reason)
 	}
 	for _, s := range r.Stages {
-		fmt.Fprintf(&b, "  stage %-20s on %-20s %-14s rounds=%-6d queue=%-3d for %v\n",
-			s.Stage, s.Pipeline, s.State, s.Rounds, s.QueueLen, s.InState.Round(time.Millisecond))
+		fill := fmt.Sprintf("%d", s.QueueLen)
+		if s.QueueCap > 0 {
+			fill = fmt.Sprintf("%d/%d", s.QueueLen, s.QueueCap)
+		}
+		fmt.Fprintf(&b, "  stage %-20s on %-20s %-14s rounds=%-6d queue=%-7s for %v",
+			s.Stage, s.Pipeline, s.State, s.Rounds, fill, s.InState.Round(time.Millisecond))
+		if s.SlowPushes > 0 {
+			fmt.Fprintf(&b, " slow-pushes=%d", s.SlowPushes)
+		}
+		b.WriteString("\n")
 	}
 	if r.Goroutines != "" {
 		fmt.Fprintf(&b, "  goroutines:\n%s\n", indent(r.Goroutines, "    "))
@@ -127,11 +139,13 @@ func classifyStages(st NetworkStats, stuckFor time.Duration) []StageHealth {
 	out := make([]StageHealth, len(st.Stages))
 	for i, s := range st.Stages {
 		h := StageHealth{
-			Stage:    s.Stage,
-			Pipeline: s.Pipeline,
-			Rounds:   s.Rounds,
-			QueueLen: s.QueueLen,
-			InState:  s.InState,
+			Stage:      s.Stage,
+			Pipeline:   s.Pipeline,
+			Rounds:     s.Rounds,
+			QueueLen:   s.QueueLen,
+			QueueCap:   s.QueueCap,
+			SlowPushes: s.SlowPushes,
+			InState:    s.InState,
 		}
 		switch s.State {
 		case StageIdle:
@@ -169,6 +183,21 @@ func diagnose(hs []StageHealth) (int, string) {
 		if h.State == HealthBlockedOnPut {
 			culprit = i
 			reason = "parked inside its stage function — a blocking communication or disk operation that is not completing, or a deadlock"
+			// Refine with queue occupancy: if the stage's downstream queue on
+			// the same pipeline is brim full, the stage is in truth stuck in
+			// the convey — a breach of the sized-to-never-fill invariant —
+			// not in its own I/O.
+			for j := i + 1; j < len(hs); j++ {
+				if hs[j].Pipeline != h.Pipeline {
+					continue
+				}
+				if hs[j].QueueCap > 0 && hs[j].QueueLen >= hs[j].QueueCap {
+					reason = fmt.Sprintf(
+						"blocked conveying into stage %q, whose input queue is full (%d/%d) — the sized-to-never-fill invariant is breached",
+						hs[j].Stage, hs[j].QueueLen, hs[j].QueueCap)
+				}
+				break
+			}
 			break
 		}
 	}

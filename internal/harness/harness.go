@@ -43,6 +43,13 @@ type Params struct {
 	// else.
 	Parallelism int
 
+	// AutoTune is handed to every program's config
+	// (dsort.Config.AutoTune, colsort.Plan.AutoTune): when enabled, a
+	// run-time tuner adjusts the compute stages' worker counts and each
+	// pipeline's circulating buffers, with Parallelism as the starting
+	// point. The zero value keeps the static knobs.
+	AutoTune fg.AutoTune
+
 	// Observe, if non-nil, is handed to every program's config, so all of a
 	// run's networks share one trace timeline and metrics registry. When it
 	// carries a Tracer, the harness additionally records every node's
@@ -281,6 +288,7 @@ func (pr Params) runOnce(prog Program, dist workload.Distribution, buffers int) 
 		case Dsort:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
 			cfg.Parallelism = pr.Parallelism
+			cfg.AutoTune = pr.AutoTune
 			cfg.Observe = pr.Observe
 			cfg.Checkpoint = ck
 			if buffers > 0 {
@@ -290,6 +298,7 @@ func (pr Params) runOnce(prog Program, dist workload.Distribution, buffers int) 
 		case DsortLinear:
 			cfg := dsort.DefaultConfig(spec, pr.Nodes)
 			cfg.Parallelism = pr.Parallelism
+			cfg.AutoTune = pr.AutoTune
 			cfg.Observe = pr.Observe
 			if buffers > 0 {
 				cfg.Buffers = buffers
@@ -301,6 +310,7 @@ func (pr Params) runOnce(prog Program, dist workload.Distribution, buffers int) 
 				return perr
 			}
 			pl.Parallelism = pr.Parallelism
+			pl.AutoTune = pr.AutoTune
 			pl.Observe = pr.Observe
 			pl.Checkpoint = ck
 			b := colsort.DefaultPipelineBuffers
@@ -529,6 +539,7 @@ func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Con
 	defer detach()
 	cfg := dsort.DefaultConfig(spec, pr.Nodes)
 	cfg.Parallelism = pr.Parallelism
+	cfg.AutoTune = pr.AutoTune
 	cfg.Observe = pr.Observe
 	if ck, err := pr.checkpoint(); err != nil {
 		return oocsort.Result{}, err
