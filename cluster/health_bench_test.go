@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -21,6 +22,7 @@ func BenchmarkHeartbeatOverhead(b *testing.B) {
 		c := New(Config{Nodes: 2, Health: idle})
 		defer c.Close()
 		f := Frame{Src: 1, Dst: 0, Tag: healthTag}
+		settle()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -33,10 +35,21 @@ func BenchmarkHeartbeatOverhead(b *testing.B) {
 	b.Run("beat", func(b *testing.B) {
 		c := New(Config{Nodes: 4, Health: idle})
 		defer c.Close()
+		settle()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.health.beat()
 		}
 	})
+}
+
+// settle lets cluster-startup goroutines (monitor, transport readers)
+// finish their launch-time allocations before the timer starts. allocs/op
+// is a process-wide malloc delta; at CI's -benchtime=1x the measured
+// window is microseconds, and a monitor goroutine still booting would be
+// charged to the single iteration.
+func settle() {
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
 }

@@ -191,6 +191,84 @@ func (t *tcpTransport) isClosed() bool {
 	}
 }
 
+// Receive-buffer pooling. Every inbound frame needs a fresh body buffer —
+// the payload is handed through the mailbox to the application, which owns
+// it indefinitely, so the transport can never take the buffer back. What it
+// can do is stop paying one heap allocation per frame: each readLoop carves
+// bodies out of large pooled chunks, so a stream of 64 KiB column frames
+// costs one allocation per chunk (recvArenaChunkSize/bodyLen frames)
+// instead of one per frame. A chunk is garbage once every slice carved from
+// it is dropped; to keep a long-lived small message (a gathered verdict an
+// application retains) from pinning a whole chunk, bodies below
+// recvArenaMinCarve allocate exactly, and bodies too large to amortize
+// (more than a quarter chunk would recycle the chunk too fast to matter)
+// do too.
+const (
+	recvArenaChunkSize = 1 << 20
+	recvArenaMinCarve  = 4 << 10
+	recvArenaMaxCarve  = recvArenaChunkSize / 4
+)
+
+// recvArena is a bump allocator over pooled chunks. It is used by exactly
+// one readLoop goroutine, so it needs no locking; the chunk pool behind it
+// is shared so short-lived connections (control-plane redials) do not each
+// strand a fresh chunk.
+type recvArena struct {
+	chunk []byte
+	off   int
+}
+
+var recvChunkPool = sync.Pool{
+	New: func() any { return make([]byte, recvArenaChunkSize) },
+}
+
+// alloc returns a zero-free buffer of n bytes. Carved buffers are full
+// slices (length == capacity) so an append by the receiving application can
+// never bleed into a neighbouring frame's body.
+func (a *recvArena) alloc(n int) []byte {
+	if n < recvArenaMinCarve || n > recvArenaMaxCarve {
+		return make([]byte, n)
+	}
+	if a.off+n > len(a.chunk) {
+		// The old chunk is NOT returned to the pool: frames carved from it
+		// are live in mailboxes or application hands. It becomes garbage
+		// when the last of them is dropped.
+		a.chunk = recvChunkPool.Get().([]byte)
+		a.off = 0
+	}
+	b := a.chunk[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+// release hands the arena's unused tail capacity back to the pool when a
+// readLoop ends. Only a never-carved chunk may be recycled — once a single
+// frame body aliases it, ownership is shared with the application.
+func (a *recvArena) release() {
+	if a.chunk != nil && a.off == 0 {
+		recvChunkPool.Put(a.chunk)
+	}
+	a.chunk = nil
+}
+
+// frameObserver, when set, sees the raw wire bytes (length prefix included)
+// of every frame a readLoop decodes, before decoding. It is a seam for
+// corpus-capture tests — the fuzz corpus for the frame codec is harvested
+// from live soak runs through it — and must stay nil in production runs;
+// the atomic load it costs the read path is a pointer compare per frame.
+var frameObserver atomic.Pointer[func(frame []byte)]
+
+// SetFrameObserver installs fn as the process-wide inbound-frame observer
+// (nil removes it). The observer runs on read-loop goroutines and must not
+// retain the slice past the call; copy if needed.
+func SetFrameObserver(fn func(frame []byte)) {
+	if fn == nil {
+		frameObserver.Store(nil)
+		return
+	}
+	frameObserver.Store(&fn)
+}
+
 // readLoop decodes frames off one inbound connection and delivers them to
 // the local mailboxes. A decode error or EOF ends the connection quietly:
 // an unexpected drop is not an abort (the peer may be retrying), it is a
@@ -204,6 +282,8 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, tcpIOBufSize)
+	var arena recvArena
+	defer arena.release()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -213,9 +293,13 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 		if bodyLen < frameBodyLen || bodyLen > frameBodyLen+maxFramePayload {
 			return
 		}
-		body := make([]byte, bodyLen)
+		body := arena.alloc(int(bodyLen))
 		if _, err := io.ReadFull(br, body); err != nil {
 			return
+		}
+		if obs := frameObserver.Load(); obs != nil {
+			raw := append(append(make([]byte, 0, len(hdr)+len(body)), hdr[:]...), body...)
+			(*obs)(raw)
 		}
 		kind, f, err := decodeFrameBody(body)
 		if err != nil {

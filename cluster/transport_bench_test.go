@@ -20,6 +20,13 @@ func BenchmarkTransportSendRecv(b *testing.B) {
 			}
 			defer c.Close()
 			payload := make([]byte, msgSize)
+			// Warm-up: one exchange outside the timer, so the lazy first
+			// dial and the receive arena's first chunk don't dominate a 1x
+			// run — CI's baseline gates the steady-state per-message cost.
+			warm := make(chan struct{})
+			go func() { c.Node(1).Recv(0, 1); close(warm) }()
+			c.Node(0).Send(1, 1, payload)
+			<-warm
 			done := make(chan struct{})
 			go func() {
 				defer close(done)

@@ -13,8 +13,21 @@
 //     to allocate nothing in steady state, so any drift is a real leak into
 //     the hot path. A zero baseline must stay zero; a nonzero baseline may
 //     grow to at most 1.5x + 8 allocations before the gate trips.
-//   - ns/op from a -benchtime=1x run is noise on shared CI runners, so
-//     timing drift is reported as an advisory, never a failure.
+//   - ns/op from a single -benchtime=1x run is noise on shared CI runners,
+//     so one run's timing drift is reported as an advisory, never a failure.
+//
+// A *sustained* timing regression is a different matter: noise does not
+// point the same way run after run. With -trend the gate additionally reads
+// the last -trend-last entries of the history file (BENCH_history.jsonl,
+// grown by cmd/benchjson and the soak harness) and fails a gated benchmark
+// whose ns/op exceeded the baseline by more than -trend-threshold in every
+// one of those runs — the cheapest entry of the window must clear the bar,
+// so a single lucky run resets the alarm. Fewer than -trend-last recorded
+// runs of a benchmark is never a failure; the curve has to accumulate
+// before it can be judged.
+//
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_kernels.json \
+//	    -trend BENCH_history.jsonl -trend-last 5
 //
 // Benchmark names are compared with the -N GOMAXPROCS suffix stripped, so a
 // runner with a different core count still matches the baseline rows.
@@ -24,38 +37,24 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"sort"
+
+	"github.com/fg-go/fg/internal/benchfmt"
 )
-
-// Result and Report mirror cmd/benchjson's output document.
-type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-type Report struct {
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 // procSuffix is the -N the testing package appends for GOMAXPROCS.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-func load(path string) (map[string]Result, error) {
-	raw, err := os.ReadFile(path)
+func load(path string) (map[string]benchfmt.Result, error) {
+	rep, err := benchfmt.LoadReport(path)
 	if err != nil {
 		return nil, err
 	}
-	var rep Report
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	m := make(map[string]Result, len(rep.Benchmarks))
+	m := make(map[string]benchfmt.Result, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
 		m[procSuffix.ReplaceAllString(b.Name, "")] = b
 	}
@@ -63,7 +62,7 @@ func load(path string) (map[string]Result, error) {
 }
 
 // allocBudget returns the ceiling the current allocs/op must stay under for
-// the given baseline value, and whether exceeding it is fatal.
+// the given baseline value.
 func allocBudget(baseline float64) float64 {
 	if baseline == 0 {
 		return 0
@@ -74,6 +73,9 @@ func allocBudget(baseline float64) float64 {
 func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	curPath := flag.String("current", "BENCH_kernels.json", "freshly measured report")
+	trendPath := flag.String("trend", "", "history file (BENCH_history.jsonl); when set, gate sustained ns/op regressions over the last -trend-last entries")
+	trendLast := flag.Int("trend-last", 5, "how many most-recent history runs of a benchmark must all regress before the trend gate trips")
+	trendThreshold := flag.Float64("trend-threshold", 0.15, "fractional ns/op regression over baseline that counts as a regression in the trend window")
 	flag.Parse()
 
 	base, err := load(*basePath)
@@ -127,9 +129,79 @@ func main() {
 		fmt.Printf("advisory: %s is new (not in the baseline; regenerate BENCH_baseline.json to gate it)\n", n)
 	}
 
+	if *trendPath != "" {
+		failures += gateTrend(*trendPath, base, names, *trendLast, *trendThreshold)
+	}
+
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d allocation regression(s) against %s\n", failures, *basePath)
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s\n", failures, *basePath)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks checked against %s, no allocation regressions\n", len(names), *basePath)
+	fmt.Printf("benchgate: %d benchmarks checked against %s, no regressions\n", len(names), *basePath)
+}
+
+// gateTrend fails every gated benchmark whose ns/op exceeded baseline by
+// more than threshold in each of its last `last` recorded history runs.
+// History entries that do not mention a benchmark simply do not count
+// toward its window, so kernel rows and soak rows coexist in one file.
+func gateTrend(path string, base map[string]benchfmt.Result, names []string, last int, threshold float64) int {
+	if last < 2 {
+		last = 2 // one run is noise by definition; a trend needs at least two
+	}
+	entries, skipped, err := benchfmt.ReadHistory(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("advisory: trend history %s does not exist yet; nothing to gate\n", path)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: trend: %v\n", err)
+		return 1
+	}
+	if skipped > 0 {
+		fmt.Printf("advisory: trend history %s has %d unparseable line(s), skipped\n", path, skipped)
+	}
+	// Most recent first, per benchmark.
+	recent := make(map[string][]float64)
+	for i := len(entries) - 1; i >= 0; i-- {
+		for _, b := range entries[i].Benchmarks {
+			name := procSuffix.ReplaceAllString(b.Name, "")
+			if _, gated := base[name]; !gated {
+				continue
+			}
+			if ns, ok := b.Metrics["ns/op"]; ok && len(recent[name]) < last {
+				recent[name] = append(recent[name], ns)
+			}
+		}
+	}
+	failures := 0
+	for _, name := range names {
+		bn, ok := base[name].Metrics["ns/op"]
+		if !ok || bn <= 0 {
+			continue
+		}
+		window := recent[name]
+		if len(window) < last {
+			continue // not enough history yet; the curve must accumulate first
+		}
+		bar := bn * (1 + threshold)
+		best := window[0]
+		sustained := true
+		for _, ns := range window {
+			if ns < best {
+				best = ns
+			}
+			if ns <= bar {
+				sustained = false
+			}
+		}
+		if sustained {
+			fmt.Printf("FAIL: %s ns/op has exceeded baseline %.0f by more than %.0f%% in each of the last %d runs (best of window %.0f)\n",
+				name, bn, threshold*100, last, best)
+			failures++
+		}
+	}
+	if failures == 0 {
+		fmt.Printf("trend: no sustained ns/op regression over the last %d runs of %s\n", last, path)
+	}
+	return failures
 }

@@ -18,37 +18,21 @@
 //
 //	go test -bench=. ... | go run ./cmd/benchjson -out BENCH_kernels.json \
 //	    -append-history BENCH_history.jsonl -label "$GITHUB_SHA"
+//
+// The parsing, the report schema, and the history format live in
+// internal/benchfmt, shared with cmd/benchgate (which gates against these
+// documents) and the soak harness (which appends its per-scenario results
+// to the same history file).
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
-	"time"
+
+	"github.com/fg-go/fg/internal/benchfmt"
 )
-
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the whole document. Label and Time are set only on history
-// lines.
-type Report struct {
-	Label      string   `json:"label,omitempty"`
-	Time       string   `json:"time,omitempty"`
-	GOOS       string   `json:"goos,omitempty"`
-	GOARCH     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Packages   []string `json:"packages,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
@@ -56,29 +40,8 @@ func main() {
 	label := flag.String("label", "", "label stamped on the history line (e.g. a commit SHA)")
 	flag.Parse()
 
-	rep := Report{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Packages = append(rep.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBenchLine(line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, r)
-			}
-		}
-		// Everything else (ok/FAIL/PASS, blank lines) is ignored; a FAIL
-		// still fails CI through go test's own exit code.
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
@@ -90,7 +53,7 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *history != "" {
-		if err := appendHistory(*history, rep, *label); err != nil {
+		if err := benchfmt.AppendHistory(*history, rep, *label); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -103,47 +66,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// appendHistory writes the report as one compact JSON line at the end of
-// path, stamped with the label and the current UTC time.
-func appendHistory(path string, rep Report, label string) error {
-	rep.Label = label
-	rep.Time = time.Now().UTC().Format(time.RFC3339)
-	line, err := json.Marshal(rep)
-	if err != nil {
-		return err
-	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := f.Write(append(line, '\n')); err != nil {
-		return err
-	}
-	return nil
-}
-
-// parseBenchLine parses one result line of the standard benchmark format:
-//
-//	BenchmarkName-8    100    11064025 ns/op    189.43 MB/s    5 B/op    0 allocs/op
-func parseBenchLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		r.Metrics[fields[i+1]] = v
-	}
-	return r, true
 }

@@ -1,0 +1,163 @@
+// Package benchfmt is the shared vocabulary for the repo's performance
+// records: the parsed form of `go test -bench` text output, the JSON report
+// document cmd/benchjson emits (BENCH_kernels.json, BENCH_baseline.json),
+// and the append-only history file (BENCH_history.jsonl) that strings those
+// reports into a cross-PR perf curve. cmd/benchjson writes reports,
+// cmd/benchgate gates against them, and the soak harness appends its
+// per-scenario results as benchmark-shaped entries so one file carries the
+// whole trajectory — kernels and cluster soaks alike.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line: the name, the iteration count, and
+// every reported metric (ns/op, MB/s, B/op, allocs/op, and any custom
+// b.ReportMetric unit).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is a whole benchmark document. Label and Time are set only on
+// history lines.
+type Report struct {
+	Label      string   `json:"label,omitempty"`
+	Time       string   `json:"time,omitempty"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Packages   []string `json:"packages,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ParseLine parses one result line of the standard benchmark format:
+//
+//	BenchmarkName-8    100    11064025 ns/op    189.43 MB/s    5 B/op    0 allocs/op
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	if !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// Parse reads `go test -bench` text output and assembles a Report: header
+// lines (goos/goarch/cpu/pkg) become environment metadata, benchmark lines
+// become entries, and everything else (ok/FAIL/PASS, blanks) is ignored — a
+// FAIL still fails CI through go test's own exit code.
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Packages = append(rep.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := ParseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// LoadReport reads a JSON report document from path. Unknown top-level keys
+// (the _note atop BENCH_baseline.json) are tolerated.
+func LoadReport(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// AppendHistory appends rep as one compact JSON line at the end of path,
+// stamped with the label and the current UTC time — the accumulation step
+// that turns per-run reports into a cross-PR curve.
+func AppendHistory(path string, rep Report, label string) error {
+	rep.Label = label
+	rep.Time = time.Now().UTC().Format(time.RFC3339)
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadHistory parses every line of a history file, oldest first. Lines that
+// fail to parse are skipped (the file is append-only and hand-merged across
+// branches; one mangled line must not blind the trend gate to the rest),
+// and their count is returned alongside.
+func ReadHistory(path string) (entries []Report, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			skipped++
+			continue
+		}
+		entries = append(entries, rep)
+	}
+	if err := sc.Err(); err != nil {
+		return entries, skipped, err
+	}
+	return entries, skipped, nil
+}

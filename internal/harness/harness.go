@@ -94,6 +94,12 @@ type Params struct {
 	// SuperviseLog, if non-nil, receives the supervisor's per-attempt
 	// progress lines.
 	SuperviseLog io.Writer
+
+	// OnSuperviseReport, if non-nil, receives the supervisor's structured
+	// report when a supervised Run (Supervise > 1) concludes — the soak
+	// harness reads attempt counts and per-attempt errors from it instead
+	// of scraping the log.
+	OnSuperviseReport func(supervise.Report)
 }
 
 // instrument wires the Observe bundle into a freshly built cluster. The
@@ -246,6 +252,9 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 		Observe:     pr.Observe,
 		Log:         pr.SuperviseLog,
 	})
+	if pr.OnSuperviseReport != nil {
+		pr.OnSuperviseReport(rep)
+	}
 	return res, rep.Err
 }
 

@@ -1,0 +1,58 @@
+package soak
+
+// Corpus capture: a worker started with FGSOAK_CAPTURE_FRAMES=<dir> in its
+// environment installs the cluster's inbound-frame observer and writes
+// every distinct wire frame it receives as a `go test fuzz v1` seed file.
+// The driver inherits the variable to every worker it spawns, so pointing
+// the capture test at a live smoke run harvests real frames — heartbeats,
+// bulk column data, whatever the run produced — into the frame codec's
+// fuzz corpus (cluster/testdata/fuzz/FuzzFrameCodec). Fuzzing from frames
+// that actually crossed a socket keeps the corpus honest about what
+// "well-formed" means on the wire.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/fg-go/fg/cluster"
+)
+
+// CaptureEnv names the directory that frame-corpus seeds are written to;
+// empty disables capture.
+const CaptureEnv = "FGSOAK_CAPTURE_FRAMES"
+
+const (
+	// captureMaxFrame skips bulk payloads too large to be useful seeds.
+	captureMaxFrame = 2 << 10
+	// captureMaxFiles bounds one process's harvest.
+	captureMaxFiles = 24
+)
+
+// captureFrames installs the observer; the returned stop removes it.
+// Seed files are content-addressed, so concurrent workers sharing one
+// directory collide only on identical frames.
+func captureFrames(dir string) (stop func()) {
+	var mu sync.Mutex
+	seen := make(map[[sha256.Size]byte]bool)
+	cluster.SetFrameObserver(func(frame []byte) {
+		if len(frame) > captureMaxFrame {
+			return
+		}
+		sum := sha256.Sum256(frame)
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[sum] || len(seen) >= captureMaxFiles {
+			return
+		}
+		seen[sum] = true
+		seed := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", frame)
+		path := filepath.Join(dir, fmt.Sprintf("soak-%x", sum[:8]))
+		if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fgsoak: frame capture: %v\n", err)
+		}
+	})
+	return func() { cluster.SetFrameObserver(nil) }
+}

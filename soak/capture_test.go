@@ -1,0 +1,72 @@
+package soak
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCaptureFrameCorpus harvests real wire frames from a live smoke run
+// into `go test fuzz v1` seed files. It is gated behind the
+// FG_CAPTURE_FRAME_CORPUS environment variable (the output directory —
+// point it at cluster/testdata/fuzz/FuzzFrameCodec to regenerate the
+// checked-in corpus) because it writes into the source tree; without the
+// variable it still runs the capture machinery against a temp dir, so the
+// seam cannot rot unnoticed.
+func TestCaptureFrameCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := os.Getenv("FG_CAPTURE_FRAME_CORPUS")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(CaptureEnv, dir) // inherited by every spawned worker
+
+	s, err := Builtin("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(s, testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("smoke run failed during capture: %+v", rep)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "soak-") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(raw), "go test fuzz v1\n[]byte(") {
+			t.Errorf("%s is not a fuzz seed: %q", e.Name(), raw[:min(len(raw), 40)])
+		}
+		captured++
+	}
+	// A smoke run exchanges at minimum heartbeats and pass-1 partitions;
+	// zero captured frames means the observer seam is dead.
+	if captured == 0 {
+		t.Fatal("live smoke run captured no frames")
+	}
+	t.Logf("captured %d distinct wire frames into %s", captured, dir)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package soak
+
+// Report shapes: one TrialReport per spawned fleet, one RunReport per
+// scenario invocation. The run report is written as indented JSON for
+// humans and artifacts, and distilled into benchmark-shaped entries
+// (BenchmarkSoak/<scenario>) appended to BENCH_history.jsonl — the same
+// curve the kernel benchmarks accumulate, so cmd/benchgate's trend mode
+// reads soak wall clocks and kernel ns/op from one file.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"github.com/fg-go/fg/internal/benchfmt"
+)
+
+// A TrialReport is one fleet's outcome.
+type TrialReport struct {
+	Trial int    `json:"trial"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// WallMS is driver wall clock, spawn to last exit; SortMS is rank 0's
+	// in-job total (excludes process startup and teardown).
+	WallMS float64 `json:"wall_ms"`
+	SortMS float64 `json:"sort_ms"`
+
+	// Retries sums supervisor retries across ranks; Restarts counts
+	// replacement processes the driver admitted; Deaths counts peer-death
+	// declarations observed; DeathDetectMS is the slowest detection.
+	Retries       int     `json:"retries"`
+	Restarts      int     `json:"restarts"`
+	Deaths        int     `json:"deaths"`
+	DeathDetectMS float64 `json:"death_detect_ms,omitempty"`
+	Reconnects    int64   `json:"reconnects"`
+
+	// Bottleneck is rank 0's longest pass; Resumed the passes it restored
+	// from checkpoints instead of recomputing.
+	Bottleneck string   `json:"bottleneck,omitempty"`
+	Resumed    []string `json:"resumed,omitempty"`
+
+	Workers []WorkerResult `json:"workers"`
+}
+
+// A RunReport is one scenario's full outcome.
+type RunReport struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Program     string `json:"program"`
+	Ranks       int    `json:"ranks"`
+	Records     int64  `json:"records"`
+	RecordSize  int    `json:"record_size"`
+
+	OK     bool          `json:"ok"`
+	Trials []TrialReport `json:"trials"`
+}
+
+// BytesSorted is the cluster-wide dataset size one trial sorts.
+func (r RunReport) BytesSorted() int64 { return r.Records * int64(r.RecordSize) }
+
+// best returns the fastest passing trial, or nil if none passed.
+func (r RunReport) best() *TrialReport {
+	var best *TrialReport
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		if !t.OK {
+			continue
+		}
+		if best == nil || t.WallMS < best.WallMS {
+			best = t
+		}
+	}
+	return best
+}
+
+// BenchResult distills the run into one benchmark-shaped entry: ns/op is
+// the best passing trial's wall clock (best-of-N, as go test reports), with
+// the resilience counters as custom metrics. Returns ok=false when no trial
+// passed — a failed soak must not pollute the perf curve.
+func (r RunReport) BenchResult() (benchfmt.Result, bool) {
+	best := r.best()
+	if best == nil {
+		return benchfmt.Result{}, false
+	}
+	ns := best.WallMS * 1e6
+	res := benchfmt.Result{
+		Name:       "BenchmarkSoak/" + r.Scenario,
+		Iterations: int64(len(r.Trials)),
+		Metrics: map[string]float64{
+			"ns/op":      ns,
+			"MB/s":       float64(r.BytesSorted()) / 1e6 / (best.WallMS / 1e3),
+			"retries":    float64(best.Retries),
+			"restarts":   float64(best.Restarts),
+			"reconnects": float64(best.Reconnects),
+		},
+	}
+	if best.DeathDetectMS > 0 {
+		res.Metrics["death-ms"] = best.DeathDetectMS
+	}
+	return res, true
+}
+
+// BenchLine renders the entry in `go test -bench` text format, so the soak
+// row pipes through cmd/benchjson like any benchmark output.
+func (r RunReport) BenchLine() string {
+	res, ok := r.BenchResult()
+	if !ok {
+		return ""
+	}
+	// ns/op first, then the rest in stable order.
+	parts := []string{res.Name, strconv.FormatInt(res.Iterations, 10)}
+	emit := func(unit string) {
+		parts = append(parts, strconv.FormatFloat(res.Metrics[unit], 'f', 2, 64), unit)
+	}
+	emit("ns/op")
+	for _, unit := range []string{"MB/s", "retries", "restarts", "reconnects", "death-ms"} {
+		if _, ok := res.Metrics[unit]; ok {
+			emit(unit)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// AppendHistory appends the run's benchmark entry to the history file under
+// the given label. A run with no passing trial appends nothing and reports
+// false.
+func (r RunReport) AppendHistory(path, label string) (bool, error) {
+	res, ok := r.BenchResult()
+	if !ok {
+		return false, nil
+	}
+	rep := benchfmt.Report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Packages:   []string{"github.com/fg-go/fg/soak"},
+		Benchmarks: []benchfmt.Result{res},
+	}
+	return true, benchfmt.AppendHistory(path, rep, label)
+}
+
+// WriteJSON writes the run report, indented, to path ("" or "-" = stdout).
+func (r RunReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// Summary renders a short human verdict for the driver's log.
+func (r RunReport) Summary() string {
+	passed := 0
+	for _, t := range r.Trials {
+		if t.OK {
+			passed++
+		}
+	}
+	verdict := "PASSED"
+	if !r.OK {
+		verdict = "FAILED"
+	}
+	line := fmt.Sprintf("soak %s: %s (%d/%d trials passed", r.Scenario, verdict, passed, len(r.Trials))
+	if best := r.best(); best != nil {
+		line += fmt.Sprintf(", best %.1fs, retries=%d restarts=%d reconnects=%d",
+			best.WallMS/1e3, best.Retries, best.Restarts, best.Reconnects)
+		if best.DeathDetectMS > 0 {
+			line += fmt.Sprintf(", death detected in %.0fms", best.DeathDetectMS)
+		}
+		if best.Bottleneck != "" {
+			line += ", bottleneck " + best.Bottleneck
+		}
+	}
+	return line + ")"
+}

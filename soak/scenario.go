@@ -1,0 +1,385 @@
+// Package soak is the cluster-scale stress harness: it spawns N real FG
+// sort processes over the TCP transport, drives them with concurrent
+// workloads from package workload, applies declarative fault and churn
+// plans compiled onto internal/faultinject hooks (plus real SIGKILL and
+// process restart at the driver), verifies every run collectively with
+// check.DistributedOutput, and emits a structured per-run report whose
+// benchmark-shaped lines feed the same BENCH_history.jsonl curve the
+// kernel benchmarks accumulate. The paper's claim — that pipeline-visible
+// structure lets FG overlap I/O, communication, and computation under real
+// cluster conditions — is only testable under real cluster conditions:
+// many processes, real sockets, and scheduled misfortune. This package is
+// that proof system; cmd/fgsoak is its driver.
+package soak
+
+import (
+	"embed"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/fg-go/fg/workload"
+)
+
+//go:embed scenarios/*.json
+var builtinFS embed.FS
+
+// A Scenario is one declarative soak plan: the cluster shape, the workload,
+// the resilience configuration, and the scheduled faults. Scenarios are
+// checked into soak/scenarios/ as JSON and decoded strictly — an unknown
+// field or an inconsistent plan is an error at load time, never a silent
+// misconfiguration discovered mid-soak.
+type Scenario struct {
+	// Name labels the scenario in reports and history entries.
+	Name string `json:"name"`
+	// Description says what the scenario proves.
+	Description string `json:"description,omitempty"`
+
+	// Ranks is the cluster size; each rank runs as its own OS process.
+	Ranks int `json:"ranks"`
+	// Program is the sorting program every rank runs: "dsort", "csort",
+	// "csort4", or "dsort-linear".
+	Program string `json:"program"`
+	// Records is the cluster-wide record count N.
+	Records int64 `json:"records"`
+	// RecordSize is bytes per record (>= 16). Zero defaults to 16.
+	RecordSize int `json:"record_size,omitempty"`
+	// ColumnsPerNode fixes the csort geometry and the PDM block. Zero
+	// defaults to 1.
+	ColumnsPerNode int `json:"columns_per_node,omitempty"`
+	// Distribution names the key distribution (workload.ParseDistribution
+	// spelling: "uniform", "poisson", "skew-zipf", ...). Empty defaults to
+	// "uniform".
+	Distribution string `json:"distribution,omitempty"`
+	// Seed makes the workload deterministic. Zero defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Parallelism is the intra-buffer kernel worker knob (0 = all cores).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Buffers overrides each pipeline's circulating buffer pool (0 keeps
+	// the program default).
+	Buffers int `json:"buffers,omitempty"`
+
+	// Trials repeats the whole run (fresh processes each time) and reports
+	// every trial; zero means one.
+	Trials int `json:"trials,omitempty"`
+	// TimeoutSec bounds one trial's wall clock; past it the driver kills
+	// the fleet and fails the trial. Zero defaults to 120.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+
+	// Checkpoint enables pass-level checkpointing in a shared per-trial
+	// directory, the substrate a killed rank's replacement resumes from.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+	// MaxAttempts is each rank's supervised attempt budget (1 = run once,
+	// no supervisor). Scenarios that kill ranks need more than 1.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Heartbeat configures the failure detector; required by scenarios
+	// that kill ranks, optional otherwise.
+	Heartbeat *HeartbeatSpec `json:"heartbeat,omitempty"`
+	// Disk overrides the simulated per-node disk model.
+	Disk *DiskSpec `json:"disk,omitempty"`
+
+	// Faults is the scheduled misfortune, applied in addition to the
+	// clean workload.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// HeartbeatSpec mirrors cluster.HealthConfig in milliseconds.
+type HeartbeatSpec struct {
+	IntervalMS     int `json:"interval_ms"`
+	SuspectAfterMS int `json:"suspect_after_ms,omitempty"`
+	DeadAfterMS    int `json:"dead_after_ms,omitempty"`
+	StartupGraceMS int `json:"startup_grace_ms,omitempty"`
+}
+
+// DiskSpec mirrors pdm.DiskModel.
+type DiskSpec struct {
+	SeekLatencyUS  int     `json:"seek_latency_us"`
+	BytesPerSecond float64 `json:"bytes_per_second"`
+}
+
+// Fault kinds. Each kind compiles onto a different layer of the fault
+// machinery; see Compile in plan.go for the mapping.
+const (
+	// FaultKillOp SIGKILLs rank Rank from inside, on the OpCount-th disk
+	// operation touching File ("output", "input", or empty for any) —
+	// deterministic mid-pass death, the internal/faultinject KillOn hook.
+	FaultKillOp = "kill-op"
+	// FaultKillAfter SIGKILLs rank Rank from outside (the driver) after
+	// AfterMS of wall clock — asynchronous death, nothing in the victim
+	// cooperates.
+	FaultKillAfter = "kill-after"
+	// FaultPartition simulates a flapping link to rank Rank: every process
+	// drops frames to and from it for DownMS, heals for UpMS, Cycles
+	// times, starting after AfterMS. DownMS below the dead threshold
+	// proves churn does not kill; above it proves sustained partitions do.
+	FaultPartition = "partition"
+	// FaultDiskSlow adds LatencyUS to every disk operation on rank Rank
+	// (-1 for all ranks), optionally scoped to File.
+	FaultDiskSlow = "disk-slow"
+	// FaultNetDrop drops the first DropN outgoing data frames of at least
+	// MinBytes payload from rank Rank; the resulting CommError fails the
+	// attempt and the supervisor's retry must absorb it.
+	FaultNetDrop = "net-drop"
+)
+
+// A Fault is one scheduled misfortune in a scenario plan.
+type Fault struct {
+	// Kind selects the fault mechanism (the Fault* constants).
+	Kind string `json:"kind"`
+	// Rank is the afflicted rank; -1 means every rank where the kind
+	// supports it (disk-slow only).
+	Rank int `json:"rank"`
+
+	// OpCount is the 1-based disk-operation index a kill-op dies on.
+	OpCount int64 `json:"op_count,omitempty"`
+	// File scopes kill-op and disk-slow to one job file name ("output",
+	// "input"); empty means any file.
+	File string `json:"file,omitempty"`
+
+	// AfterMS delays kill-after and partition faults from trial start.
+	AfterMS int `json:"after_ms,omitempty"`
+
+	// Restart makes the driver spawn a replacement process for a killed
+	// rank; RestartDelayMS bounds how long it waits for a surviving
+	// supervisor to report the failed attempt before spawning anyway.
+	Restart        bool `json:"restart,omitempty"`
+	RestartDelayMS int  `json:"restart_delay_ms,omitempty"`
+
+	// DownMS, UpMS, Cycles shape a partition fault's churn.
+	DownMS int `json:"down_ms,omitempty"`
+	UpMS   int `json:"up_ms,omitempty"`
+	Cycles int `json:"cycles,omitempty"`
+
+	// LatencyUS is disk-slow's added per-operation latency.
+	LatencyUS int `json:"latency_us,omitempty"`
+
+	// DropN and MinBytes shape a net-drop fault.
+	DropN    int `json:"drop_n,omitempty"`
+	MinBytes int `json:"min_bytes,omitempty"`
+}
+
+var validPrograms = map[string]bool{
+	"dsort": true, "csort": true, "csort4": true, "dsort-linear": true,
+}
+
+// DecodeScenario reads one scenario from JSON, strictly: unknown fields,
+// trailing garbage, and semantically inconsistent plans are all errors. It
+// never panics, whatever the bytes — the property FuzzScenarioPlan holds it
+// to, because scenario files cross the trust boundary between a repo and
+// its CI.
+func DecodeScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("soak: decode scenario: %w", err)
+	}
+	if dec.More() {
+		return Scenario{}, errors.New("soak: trailing data after scenario document")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the plan's internal consistency.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return errors.New("soak: scenario needs a name")
+	}
+	if strings.ContainsAny(s.Name, "/ \t\n") {
+		return fmt.Errorf("soak: scenario name %q may not contain slashes or spaces", s.Name)
+	}
+	if s.Ranks < 2 {
+		return fmt.Errorf("soak: scenario %s: need at least 2 ranks, got %d", s.Name, s.Ranks)
+	}
+	if s.Ranks > 64 {
+		return fmt.Errorf("soak: scenario %s: %d ranks is past the loopback port budget", s.Name, s.Ranks)
+	}
+	if !validPrograms[s.Program] {
+		return fmt.Errorf("soak: scenario %s: unknown program %q", s.Name, s.Program)
+	}
+	if s.Records <= 0 {
+		return fmt.Errorf("soak: scenario %s: non-positive record count %d", s.Name, s.Records)
+	}
+	if s.RecordSize != 0 && s.RecordSize < 16 {
+		return fmt.Errorf("soak: scenario %s: record size %d below minimum 16", s.Name, s.RecordSize)
+	}
+	cols := int64(s.Ranks) * int64(s.columnsPerNode())
+	if s.Records%cols != 0 {
+		return fmt.Errorf("soak: scenario %s: %d records do not divide into %d columns", s.Name, s.Records, cols)
+	}
+	if s.Distribution != "" {
+		if _, err := workload.ParseDistribution(s.Distribution); err != nil {
+			return fmt.Errorf("soak: scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Trials < 0 || s.TimeoutSec < 0 || s.MaxAttempts < 0 ||
+		s.Parallelism < 0 || s.Buffers < 0 || s.Seed < 0 {
+		return fmt.Errorf("soak: scenario %s: negative scalar in plan", s.Name)
+	}
+	if h := s.Heartbeat; h != nil {
+		if h.IntervalMS <= 0 {
+			return fmt.Errorf("soak: scenario %s: heartbeat interval must be positive", s.Name)
+		}
+		if h.SuspectAfterMS < 0 || h.DeadAfterMS < 0 || h.StartupGraceMS < 0 {
+			return fmt.Errorf("soak: scenario %s: negative heartbeat threshold", s.Name)
+		}
+	}
+	if d := s.Disk; d != nil {
+		if d.SeekLatencyUS < 0 || d.BytesPerSecond < 0 {
+			return fmt.Errorf("soak: scenario %s: negative disk model field", s.Name)
+		}
+	}
+	for i, f := range s.Faults {
+		if err := s.validateFault(i, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Scenario) validateFault(i int, f Fault) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("soak: scenario %s fault %d (%s): %s", s.Name, i, f.Kind, fmt.Sprintf(format, args...))
+	}
+	rankInRange := f.Rank >= 0 && f.Rank < s.Ranks
+	switch f.Kind {
+	case FaultKillOp:
+		if !rankInRange {
+			return bad("rank %d outside [0, %d)", f.Rank, s.Ranks)
+		}
+		if f.OpCount <= 0 {
+			return bad("op_count must be >= 1")
+		}
+	case FaultKillAfter:
+		if !rankInRange {
+			return bad("rank %d outside [0, %d)", f.Rank, s.Ranks)
+		}
+		if f.AfterMS <= 0 {
+			return bad("after_ms must be >= 1")
+		}
+	case FaultPartition:
+		if !rankInRange {
+			return bad("rank %d outside [0, %d)", f.Rank, s.Ranks)
+		}
+		if f.DownMS <= 0 || f.UpMS <= 0 || f.Cycles <= 0 {
+			return bad("down_ms, up_ms, and cycles must all be >= 1")
+		}
+	case FaultDiskSlow:
+		if !rankInRange && f.Rank != -1 {
+			return bad("rank %d is neither -1 (all) nor in [0, %d)", f.Rank, s.Ranks)
+		}
+		if f.LatencyUS <= 0 {
+			return bad("latency_us must be >= 1")
+		}
+	case FaultNetDrop:
+		if !rankInRange {
+			return bad("rank %d outside [0, %d)", f.Rank, s.Ranks)
+		}
+		if f.DropN <= 0 {
+			return bad("drop_n must be >= 1")
+		}
+		if f.MinBytes < 0 {
+			return bad("min_bytes must be >= 0")
+		}
+	default:
+		return bad("unknown fault kind")
+	}
+	if kills := f.Kind == FaultKillOp || f.Kind == FaultKillAfter; kills {
+		if f.Rank == 0 {
+			return bad("rank 0 is the driver's supervisor observer and may not be killed")
+		}
+		if s.MaxAttempts <= 1 {
+			return bad("a kill fault needs max_attempts > 1 so survivors retry")
+		}
+		if s.Heartbeat == nil {
+			return bad("a kill fault needs a heartbeat config so the death is detected")
+		}
+		if f.Restart && !s.Checkpoint {
+			return bad("a restarted rank needs checkpoint: true to resume")
+		}
+	}
+	if (f.Kind == FaultNetDrop) && s.MaxAttempts <= 1 {
+		return fmt.Errorf("soak: scenario %s fault %d (%s): net-drop fails the attempt; max_attempts > 1 is required to absorb it", s.Name, i, f.Kind)
+	}
+	return nil
+}
+
+// Defaulted accessors: zero values in the JSON mean "the usual".
+
+func (s Scenario) recordSize() int     { return defaulted(s.RecordSize, 16) }
+func (s Scenario) columnsPerNode() int { return defaulted(s.ColumnsPerNode, 1) }
+func (s Scenario) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+func (s Scenario) trials() int      { return defaulted(s.Trials, 1) }
+func (s Scenario) maxAttempts() int { return defaulted(s.MaxAttempts, 1) }
+
+// Timeout returns the per-trial wall-clock bound.
+func (s Scenario) Timeout() time.Duration {
+	return time.Duration(defaulted(s.TimeoutSec, 120)) * time.Second
+}
+
+func defaulted(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// LoadScenario reads a scenario from a file on disk.
+func LoadScenario(p string) (Scenario, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer f.Close()
+	s, err := DecodeScenario(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", p, err)
+	}
+	return s, nil
+}
+
+// Builtin returns the checked-in scenario with the given name.
+func Builtin(name string) (Scenario, error) {
+	f, err := builtinFS.Open(path.Join("scenarios", name+".json"))
+	if err != nil {
+		return Scenario{}, fmt.Errorf("soak: no builtin scenario %q (have %s)", name, strings.Join(BuiltinNames(), ", "))
+	}
+	defer f.Close()
+	s, err := DecodeScenario(f)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("builtin %s: %w", name, err)
+	}
+	if s.Name != name {
+		return Scenario{}, fmt.Errorf("soak: builtin file %s.json declares name %q", name, s.Name)
+	}
+	return s, nil
+}
+
+// BuiltinNames lists the checked-in scenarios, sorted.
+func BuiltinNames() []string {
+	entries, err := fs.ReadDir(builtinFS, "scenarios")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
