@@ -142,6 +142,10 @@ type Cluster struct {
 	health      *healthMonitor // nil unless Config.Health enables heartbeats
 	onPeerDeath atomic.Pointer[func(rank int, err error)]
 
+	// telemetry is the running telemetry plane, installed by
+	// StartTelemetry; nil costs the control-frame dispatch one nil check.
+	telemetry atomic.Pointer[Telemetry]
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -239,6 +243,9 @@ func (c *Cluster) Aborted() bool {
 // TCP clusters should always be closed.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
+		if t := c.telemetry.Load(); t != nil {
+			t.stop()
+		}
 		if c.health != nil {
 			c.health.stop()
 		}
@@ -570,12 +577,12 @@ func (c *Cluster) deliverLocal(f Frame, cancel <-chan struct{}) error {
 	if c.parts[f.Src].Load() || c.parts[f.Dst].Load() {
 		return nil
 	}
-	// Heartbeats never touch a mailbox: they update the failure detector
-	// and vanish, so liveness costs the data path one tag compare.
-	if f.Tag == healthTag {
-		if c.health != nil {
-			c.health.observe(f.Src)
-		}
+	// Control frames (the reserved negative tag space — heartbeats and the
+	// telemetry plane) never touch a mailbox: they update their subsystem
+	// and vanish, so the whole control plane costs the data path one sign
+	// compare.
+	if f.Tag < 0 {
+		c.deliverControl(f)
 		return nil
 	}
 	dst := c.nodes[f.Dst]
@@ -604,6 +611,22 @@ func (c *Cluster) deliverLocal(f Frame, cancel <-chan struct{}) error {
 		return ErrAborted
 	case <-cancel:
 		return errTransportClosed
+	}
+}
+
+// deliverControl dispatches one reserved-tag control frame. Unknown
+// control tags are dropped: a newer peer speaking a control protocol this
+// build lacks degrades to silence, never to a mis-routed mailbox write.
+func (c *Cluster) deliverControl(f Frame) {
+	switch f.Tag {
+	case healthTag:
+		if c.health != nil {
+			c.health.observe(f.Src)
+		}
+	case telemetryTag, telemetryPullTag, telemetryReplyTag:
+		if t := c.telemetry.Load(); t != nil {
+			t.deliver(f)
+		}
 	}
 }
 

@@ -91,6 +91,9 @@ func TestTransportConformance(t *testing.T) {
 			t.Run("SendAfterAbortFailsFast", func(t *testing.T) { conformAbortPreflight(t, kind) })
 			t.Run("PeerDeathReleasesBlockedOps", func(t *testing.T) { conformPeerDeath(t, kind) })
 			t.Run("HeartbeatSurvivesTransientPartition", func(t *testing.T) { conformTransientPartition(t, kind) })
+			t.Run("TelemetryUnderBackpressure", func(t *testing.T) { conformTelemetryBackpressure(t, kind) })
+			t.Run("TelemetryReleasedOnAbort", func(t *testing.T) { conformTelemetryAbort(t, kind) })
+			t.Run("TelemetryCleanShutdown", func(t *testing.T) { conformTelemetryShutdown(t, kind) })
 			t.Run("CleanShutdown", func(t *testing.T) { conformShutdown(t, kind) })
 		})
 	}

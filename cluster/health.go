@@ -283,4 +283,25 @@ func (m *healthMonitor) emitMetrics(emit func(name string, labels map[string]str
 	emit("cluster_heartbeats_recvd_total", none, float64(m.recvd.Load()))
 	emit("cluster_peers_suspect", none, float64(suspects))
 	emit("cluster_peers_dead", none, float64(deaths))
+	// Per-peer rows, so a scrape of any one rank shows which peer went
+	// quiet, not just that one did.
+	now := time.Now()
+	for _, p := range m.snapshot() {
+		if !p.Monitored {
+			continue
+		}
+		l := func() map[string]string {
+			return map[string]string{"peer": fmt.Sprintf("%d", p.Rank)}
+		}
+		emit("fg_peer_last_seen_seconds", l(), now.Sub(p.LastSeen).Seconds())
+		emit("fg_peer_suspect", l(), b2f(p.Suspect))
+		emit("fg_peer_dead", l(), b2f(p.Dead))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -52,6 +52,7 @@ func Run(n *cluster.Node, pl Plan) (oocsort.Result, error) {
 func RunBuffers(n *cluster.Node, pl Plan, buffers int) (oocsort.Result, error) {
 	res := oocsort.Result{Program: "csort"}
 	pl.tuner = fg.NewAutoTuner(pl.AutoTune)
+	pl.Observe.AttachTuner(pl.tuner)
 	barrier := n.Comm("csort.barrier")
 
 	passes := []colPass{

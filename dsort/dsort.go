@@ -175,6 +175,7 @@ func Run(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 		return res, err
 	}
 	cfg.tuner = fg.NewAutoTuner(cfg.AutoTune)
+	cfg.Observe.AttachTuner(cfg.tuner)
 	barrier := n.Comm("dsort.barrier")
 
 	barrier.Barrier()

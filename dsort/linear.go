@@ -30,6 +30,7 @@ func RunLinear(n *cluster.Node, cfg Config) (oocsort.Result, error) {
 		return res, err
 	}
 	cfg.tuner = fg.NewAutoTuner(cfg.AutoTune)
+	cfg.Observe.AttachTuner(cfg.tuner)
 	barrier := n.Comm("dsortlin.barrier")
 
 	barrier.Barrier()

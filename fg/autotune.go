@@ -3,6 +3,7 @@ package fg
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -132,6 +133,29 @@ func (t *AutoTuner) Knob(stage string, initial int) *Knob {
 	k.workers.Store(int32(initial))
 	t.knobs[stage] = k
 	return k
+}
+
+// KnobState is one knob's position in a tuner snapshot.
+type KnobState struct {
+	Stage   string `json:"stage"`
+	Workers int    `json:"workers"`
+}
+
+// KnobStates returns every knob's current position, sorted by stage name —
+// the snapshot the metrics registry and the cluster telemetry plane ship.
+// Nil-safe: a nil tuner returns nil.
+func (t *AutoTuner) KnobStates() []KnobState {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]KnobState, 0, len(t.knobs))
+	for name, k := range t.knobs {
+		out = append(out, KnobState{Stage: name, Workers: int(k.workers.Load())})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
 }
 
 // Adjustments returns how many knob or buffer changes the tuner has made.

@@ -44,6 +44,8 @@ type MetricsRegistry struct {
 	nets    []*Network
 	funcs   []func(EmitFunc)
 	tracers []*Tracer
+	tuners  []*AutoTuner
+	peers   func() []PeerHealth
 }
 
 var (
@@ -102,6 +104,65 @@ func (r *MetricsRegistry) RegisterTracer(tr *Tracer) {
 	r.tracers = append(r.tracers, tr)
 }
 
+// Networks returns the currently registered networks, in registration
+// order — the seam the cluster-telemetry collector reads live stats
+// through without the registry knowing about ranks.
+func (r *MetricsRegistry) Networks() []*Network {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Network(nil), r.nets...)
+}
+
+// Tuners returns the currently registered auto-tuners.
+func (r *MetricsRegistry) Tuners() []*AutoTuner {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*AutoTuner(nil), r.tuners...)
+}
+
+// RegisterTuner adds an auto-tuner to the registry: its adjustment count
+// appears as fg_autotune_adjustments_total and every worker knob's current
+// position as an fg_autotune_workers gauge, so a scrape shows where the
+// tuner has moved the knobs without grepping logs. Registering the same
+// tuner again (or nil) is a no-op.
+func (r *MetricsRegistry) RegisterTuner(t *AutoTuner) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.tuners {
+		if have == t {
+			return
+		}
+	}
+	r.tuners = append(r.tuners, t)
+}
+
+// RegisterPeerHealth installs a source of cluster peer liveness, replacing
+// any previous one: the snapshot appears in /status (text), /status.json
+// (a "peers" section), and nowhere in /metrics — the cluster's own
+// collector emits the fg_peer_* series. The function must be safe to call
+// from any goroutine; nil removes the source. The signature is fg-typed so
+// the harness adapts cluster.PeerHealth without this package importing the
+// cluster.
+func (r *MetricsRegistry) RegisterPeerHealth(f func() []PeerHealth) {
+	r.mu.Lock()
+	r.peers = f
+	r.mu.Unlock()
+}
+
+// peerHealth snapshots the registered peer source, nil when absent.
+func (r *MetricsRegistry) peerHealth() []PeerHealth {
+	r.mu.Lock()
+	f := r.peers
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}
+
 // RegisterFunc adds a collector called on every snapshot. Collectors must
 // be safe to call from any goroutine.
 func (r *MetricsRegistry) RegisterFunc(f func(EmitFunc)) {
@@ -119,6 +180,7 @@ func (r *MetricsRegistry) Samples() []Sample {
 	nets := append([]*Network(nil), r.nets...)
 	funcs := append([]func(EmitFunc){}, r.funcs...)
 	tracers := append([]*Tracer(nil), r.tracers...)
+	tuners := append([]*AutoTuner(nil), r.tuners...)
 	r.mu.Unlock()
 	var out []Sample
 	emit := func(name string, labels map[string]string, value float64) {
@@ -130,6 +192,14 @@ func (r *MetricsRegistry) Samples() []Sample {
 	for i, tr := range tracers {
 		emit("fg_trace_dropped_total",
 			map[string]string{"tracer": strconv.Itoa(i)}, float64(tr.Dropped()))
+	}
+	for i, t := range tuners {
+		emit("fg_autotune_adjustments_total",
+			map[string]string{"tuner": strconv.Itoa(i)}, float64(t.Adjustments()))
+		for _, k := range t.KnobStates() {
+			emit("fg_autotune_workers",
+				map[string]string{"tuner": strconv.Itoa(i), "stage": k.Stage}, float64(k.Workers))
+		}
 	}
 	for _, f := range funcs {
 		f(emit)
@@ -185,6 +255,36 @@ var metricHelp = map[string]string{
 	"fg_stage_queue_cap":             "capacity of the stage's input queue",
 	"fg_stage_queue_slow_push_total": "pushes into the stage's input queue that missed the non-blocking fast path (invariant violations)",
 	"fg_trace_dropped_total":         "trace events discarded because the tracer was full",
+	"fg_autotune_adjustments_total":  "worker-knob and buffer adjustments the auto-tuner has made",
+	"fg_autotune_workers":            "current worker count of the stage's auto-tuned knob",
+	// Emitted by the cluster's collector (cluster.EmitMetrics), documented
+	// here because this map is the exposition format's one HELP source.
+	"fg_peer_last_seen_seconds": "seconds since the last heartbeat from the peer",
+	"fg_peer_suspect":           "1 while the peer is silent past the suspect threshold",
+	"fg_peer_dead":              "1 once the peer has been declared dead",
+	// Emitted by the telemetry aggregator (cluster.TelemetryAggregator) on
+	// the fleet-level /cluster/metrics endpoint.
+	"fleet_rank_fresh":                    "1 while the rank's latest telemetry record is younger than the staleness threshold",
+	"fleet_rank_age_seconds":              "age of the rank's latest telemetry record at the aggregator",
+	"fleet_rank_stalled":                  "1 while the rank's latest record carries a watchdog stall report",
+	"fleet_rank_suspect":                  "1 while the aggregator's failure detector marks the rank suspect",
+	"fleet_rank_dead":                     "1 once the aggregator's failure detector declared the rank dead",
+	"fleet_rank_telemetry_seq":            "sequence number of the rank's latest telemetry record",
+	"fleet_comm_messages_sent_total":      "messages sent by the rank, from its latest record",
+	"fleet_comm_bytes_sent_total":         "bytes sent by the rank, from its latest record",
+	"fleet_comm_messages_recvd_total":     "messages received by the rank, from its latest record",
+	"fleet_comm_bytes_recvd_total":        "bytes received by the rank, from its latest record",
+	"fleet_comm_sends_blocked":            "the rank's goroutines parked in a Send at snapshot time",
+	"fleet_comm_recvs_blocked":            "the rank's goroutines parked in a Recv at snapshot time",
+	"fleet_comm_reconnects_total":         "TCP connections the rank redialed after a failure",
+	"fleet_autotune_adjustments_total":    "auto-tuner adjustments on the rank, from its latest record",
+	"fleet_autotune_workers":              "current worker count of the rank's auto-tuned stage knob",
+	"fleet_stage_work_seconds_total":      "time the rank's stage spent inside its stage function",
+	"fleet_stage_rounds_total":            "buffers accepted by the rank's stage",
+	"fleet_stage_queue_len":               "buffers waiting in the rank's stage input queue",
+	"fleet_bottleneck_work_seconds":       "work of the stage governing the rank's wall clock",
+	"fleet_bottleneck_governing":          "1 for the rank whose governing stage governs the whole job",
+	"fleet_telemetry_decode_errors_total": "inbound telemetry records dropped as undecodable or newer-version",
 }
 
 // WritePrometheus writes the current samples in Prometheus text exposition

@@ -74,6 +74,29 @@ func (s NetworkStatus) String() string {
 	return b.String()
 }
 
+// PeerHealth is one cluster peer's liveness in the node-local status
+// document — the fg-typed mirror of cluster.PeerStatus, registered via
+// MetricsRegistry.RegisterPeerHealth so /status answers "who went quiet"
+// without this package importing the cluster.
+type PeerHealth struct {
+	Rank int `json:"rank"`
+	// LastSeenAge is how long ago the peer's last heartbeat arrived.
+	LastSeenAge time.Duration `json:"last_seen_age_ns"`
+	// Monitored reports whether the peer is a death-detection candidate on
+	// this process; unmonitored peers are this process's own ranks.
+	Monitored bool `json:"monitored"`
+	Suspect   bool `json:"suspect,omitempty"`
+	Dead      bool `json:"dead,omitempty"`
+}
+
+// statusDoc is the /status.json document when a peer-health source is
+// registered; without one the endpoint keeps its historical shape, a bare
+// array of NetworkStatus.
+type statusDoc struct {
+	Networks []NetworkStatus `json:"networks"`
+	Peers    []PeerHealth    `json:"peers"`
+}
+
 // statusSnapshots builds one status document per registered network.
 func (r *MetricsRegistry) statusSnapshots() []NetworkStatus {
 	r.mu.Lock()
@@ -86,11 +109,17 @@ func (r *MetricsRegistry) statusSnapshots() []NetworkStatus {
 	return out
 }
 
-// StatusJSONHandler serves every registered network's status as a JSON
-// array, for dashboards and scripts.
+// StatusJSONHandler serves every registered network's status as JSON, for
+// dashboards and scripts: a bare array of network documents, or — once a
+// peer-health source is registered — an object with "networks" and
+// "peers" sections.
 func (r *MetricsRegistry) StatusJSONHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if peers := r.peerHealth(); peers != nil {
+			_ = json.NewEncoder(w).Encode(statusDoc{Networks: r.statusSnapshots(), Peers: peers})
+			return
+		}
 		_ = json.NewEncoder(w).Encode(r.statusSnapshots())
 	})
 }
@@ -107,6 +136,19 @@ func (r *MetricsRegistry) StatusTextHandler() http.Handler {
 		}
 		for _, s := range snaps {
 			fmt.Fprint(w, s.String())
+		}
+		for _, p := range r.peerHealth() {
+			state := "ok"
+			switch {
+			case p.Dead:
+				state = "dead"
+			case p.Suspect:
+				state = "suspect"
+			case !p.Monitored:
+				state = "local"
+			}
+			fmt.Fprintf(w, "peer %d: %-7s last heartbeat %v ago\n",
+				p.Rank, state, p.LastSeenAge.Round(time.Millisecond))
 		}
 	})
 }

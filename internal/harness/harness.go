@@ -85,6 +85,21 @@ type Params struct {
 	// jobs the tests run).
 	CheckpointDir string
 
+	// Telemetry, when Interval > 0, starts the cluster telemetry plane on
+	// every cluster the harness builds: each local rank publishes a
+	// RankTelemetry record per interval toward the aggregator rank, and
+	// pull requests for black boxes and profiles are served. When Collect
+	// and Blackbox are unset, the harness fills them from Observe — stage
+	// taxonomy, pool occupancy, and knob positions from the metrics
+	// registry, stall reports from the watchdog, the flight recorder as
+	// the black box. The zero value disables the plane.
+	Telemetry cluster.TelemetryConfig
+
+	// OnTelemetry, if non-nil, receives each freshly started telemetry
+	// plane — the hook the fleet-view HTTP server
+	// (ClusterTelemetry.SetPlane) uses to follow the current cluster.
+	OnTelemetry func(*cluster.Telemetry)
+
 	// Supervise, if greater than 1, wraps each Run in supervise.Run with
 	// that many total attempts: a run that dies retryably (peer death,
 	// abort, comm error) is torn down, backed off, rebuilt, and resumed
@@ -102,22 +117,64 @@ type Params struct {
 	OnSuperviseReport func(supervise.Report)
 }
 
+// ensureTelemetryObserve gives a telemetry-armed run a metrics registry
+// when it has none: the fleet collector reads stage taxonomy out of
+// Observe.Metrics, so without one a rank's records would carry comm
+// counters but no stages and the fleet view could never name its
+// bottleneck. The receiver is a value, so the patched bundle is local to
+// this run; a caller-supplied bundle is shallow-copied, never mutated.
+func (pr *Params) ensureTelemetryObserve() {
+	if pr.Telemetry.Interval <= 0 || (pr.Observe != nil && pr.Observe.Metrics != nil) {
+		return
+	}
+	o := fg.Observe{}
+	if pr.Observe != nil {
+		o = *pr.Observe
+	}
+	o.Metrics = fg.NewMetricsRegistry()
+	pr.Observe = &o
+}
+
 // instrument wires the Observe bundle into a freshly built cluster. The
 // returned detach function removes the per-node communication observers;
 // call it when the run is over so a long-lived tracer is not fed by a dead
 // cluster.
 func (pr Params) instrument(c *cluster.Cluster) func() {
 	o := pr.Observe
+	detachTelemetry := pr.startTelemetry(c)
 	if o == nil {
-		return func() {}
+		return detachTelemetry
 	}
 	if o.Metrics != nil {
 		o.Metrics.RegisterFunc(func(emit fg.EmitFunc) { c.EmitMetrics(emit) })
+		o.Metrics.RegisterPeerHealth(func() []fg.PeerHealth {
+			ps := c.PeerHealth()
+			if len(ps) == 0 {
+				return nil
+			}
+			now := time.Now()
+			out := make([]fg.PeerHealth, len(ps))
+			for i, p := range ps {
+				out[i] = fg.PeerHealth{
+					Rank:        p.Rank,
+					LastSeenAge: now.Sub(p.LastSeen),
+					Monitored:   p.Monitored,
+					Suspect:     p.Suspect,
+					Dead:        p.Dead,
+				}
+			}
+			return out
+		})
+		prevDetach := detachTelemetry
+		detachTelemetry = func() {
+			o.Metrics.RegisterPeerHealth(nil)
+			prevDetach()
+		}
 	}
 	tr := o.Tracer
 	fr := o.Flight
 	if tr == nil && fr == nil {
-		return func() {}
+		return detachTelemetry
 	}
 	for _, n := range c.Local() {
 		pipe := fmt.Sprintf("node%d", n.Rank())
@@ -144,7 +201,35 @@ func (pr Params) instrument(c *cluster.Cluster) func() {
 		for _, n := range c.Local() {
 			n.SetCommObserver(nil)
 		}
+		detachTelemetry()
 	}
+}
+
+// startTelemetry starts the cluster's telemetry plane when Params asks for
+// one, filling the fg-side callbacks from Observe. The returned detach
+// function unhooks the collector's watchdog and completion wrappers (the
+// plane itself stops with the cluster's Close). Telemetry is best-effort
+// by contract, so a plane that fails to start degrades to staleness at the
+// aggregator rather than failing the run.
+func (pr Params) startTelemetry(c *cluster.Cluster) func() {
+	if pr.Telemetry.Interval <= 0 {
+		return func() {}
+	}
+	cfg := pr.Telemetry
+	detach := func() {}
+	if cfg.Collect == nil {
+		fc := newFleetCollector(pr.Observe)
+		cfg.Collect = fc.collectFor(c)
+		if cfg.Blackbox == nil {
+			cfg.Blackbox = fc.blackbox()
+		}
+		detach = fc.restore
+	}
+	t, err := c.StartTelemetry(cfg)
+	if err == nil && t != nil && pr.OnTelemetry != nil {
+		pr.OnTelemetry(t)
+	}
+	return detach
 }
 
 // DefaultParams mirrors the paper's machine at laptop scale: 16 nodes and
@@ -261,6 +346,7 @@ func (pr Params) Run(prog Program, dist workload.Distribution, buffers int) (ooc
 // runOnce is one unsupervised attempt: fresh cluster, input, program,
 // verification, teardown.
 func (pr Params) runOnce(prog Program, dist workload.Distribution, buffers int) (oocsort.Result, error) {
+	pr.ensureTelemetryObserve()
 	spec, err := pr.Spec(dist)
 	if err != nil {
 		return oocsort.Result{}, err
@@ -525,6 +611,7 @@ func (pr Params) Balance(dist workload.Distribution, oversample int) (float64, e
 // experiment uses it to reproduce the paper's methodological note that all
 // reported results use "the best choices of buffer sizes".
 func (pr Params) RunDsortWith(dist workload.Distribution, mutate func(*dsort.Config)) (oocsort.Result, error) {
+	pr.ensureTelemetryObserve()
 	spec, err := pr.Spec(dist)
 	if err != nil {
 		return oocsort.Result{}, err

@@ -36,12 +36,20 @@ const BlackBoxPath = "fg-blackbox.json"
 // StallReport naming the suspected culprit and dumps the flight recorder
 // to BlackBoxPath.
 //
+// clusterAddr, when non-empty, additionally serves the fleet view —
+// /cluster/status.json, /cluster/metrics, /cluster/blackbox, and
+// /cluster/profile — on its own address, and the returned
+// *ClusterTelemetry (nil otherwise) is to be wired into the run via
+// Params.OnTelemetry so the server follows the current cluster's
+// telemetry plane. The view fills in only on the process hosting the
+// aggregator rank; other ranks' servers answer 503.
+//
 // Whenever any flag is set, a flight recorder rides along: the last few
 // thousand events are retained even when full tracing is off, so the black
 // box has something to say.
-func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Duration) (*fg.Observe, func(runErr error) error, error) {
-	if metricsAddr == "" && traceOut == "" && statusAddr == "" && stallAfter <= 0 {
-		return nil, func(error) error { return nil }, nil
+func ObserveCLI(metricsAddr, traceOut, statusAddr, clusterAddr string, stallAfter time.Duration) (*fg.Observe, *ClusterTelemetry, func(runErr error) error, error) {
+	if metricsAddr == "" && traceOut == "" && statusAddr == "" && clusterAddr == "" && stallAfter <= 0 {
+		return nil, nil, func(error) error { return nil }, nil
 	}
 	o := &fg.Observe{}
 	var mu sync.Mutex
@@ -56,7 +64,7 @@ func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Durati
 		mu.Unlock()
 	}
 	o.Flight = fg.NewFlightRecorder(0)
-	var servers []*fg.MetricsServer
+	var servers []io.Closer
 	closeServers := func() error {
 		var err error
 		for _, s := range servers {
@@ -66,13 +74,13 @@ func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Durati
 		}
 		return err
 	}
-	if metricsAddr != "" || statusAddr != "" {
+	if metricsAddr != "" || statusAddr != "" || clusterAddr != "" {
 		o.Metrics = fg.NewMetricsRegistry()
 	}
 	if metricsAddr != "" {
 		server, err := o.Metrics.Serve(metricsAddr)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		servers = append(servers, server)
 		fmt.Printf("serving metrics on http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", server.Addr())
@@ -81,12 +89,23 @@ func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Durati
 		server, err := o.Metrics.Serve(statusAddr)
 		if err != nil {
 			_ = closeServers()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		servers = append(servers, server)
 		fmt.Printf("serving live status on http://%s/status (text) and /status.json\n", server.Addr())
 	} else if statusAddr != "" {
 		fmt.Printf("live status shares the metrics address: /status and /status.json\n")
+	}
+	var ct *ClusterTelemetry
+	if clusterAddr != "" {
+		var err error
+		ct, err = ServeClusterTelemetry(clusterAddr)
+		if err != nil {
+			_ = closeServers()
+			return nil, nil, nil, err
+		}
+		servers = append(servers, ct)
+		fmt.Printf("serving fleet view on http://%s/cluster/status.json and /cluster/metrics\n", ct.Addr())
 	}
 	if traceOut != "" {
 		o.Tracer = fg.NewTracer(1 << 21)
@@ -141,7 +160,7 @@ func ObserveCLI(metricsAddr, traceOut, statusAddr string, stallAfter time.Durati
 		}
 		return closeServers()
 	}
-	return o, finish, nil
+	return o, ct, finish, nil
 }
 
 // writeFileAtomic writes via a temp file in the target's directory and

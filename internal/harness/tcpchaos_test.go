@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -89,12 +90,61 @@ func runTCPChild() int {
 	}
 	pr := tcpChildParams(rank, peers)
 
-	obs, finish, err := ObserveCLI("", os.Getenv("FG_TCP_TRACE"), "", stallAfter)
+	// FG_TCP_RECORDS scales the job: the telemetry acceptance test needs a
+	// run long enough to observe live, not the millisecond sort the fault
+	// tests want.
+	if v := os.Getenv("FG_TCP_RECORDS"); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad FG_TCP_RECORDS %q\n", v)
+			return 2
+		}
+		pr.TotalRecords = n
+	}
+
+	// FG_TCP_TELEMETRY arms the cluster telemetry plane at the given
+	// interval; FG_TCP_CLUSTER_ADDR (the aggregator rank's process only)
+	// additionally serves the fleet view for the parent test to scrape.
+	var telemetryIv time.Duration
+	if v := os.Getenv("FG_TCP_TELEMETRY"); v != "" {
+		if telemetryIv, err = time.ParseDuration(v); err != nil {
+			fmt.Fprintf(os.Stderr, "bad FG_TCP_TELEMETRY: %v\n", err)
+			return 2
+		}
+	}
+	clusterAddr := os.Getenv("FG_TCP_CLUSTER_ADDR")
+	if clusterAddr != "" && telemetryIv <= 0 {
+		telemetryIv = 10 * time.Millisecond
+	}
+
+	// FG_TCP_STACKDUMP dumps every goroutine to stderr after the given
+	// delay — a child wedged past that point explains itself in the parent
+	// test's failure output instead of dying silently at cleanup.
+	if v := os.Getenv("FG_TCP_STACKDUMP"); v != "" {
+		if d, derr := time.ParseDuration(v); derr == nil {
+			go func() {
+				time.Sleep(d)
+				_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+			}()
+		}
+	}
+
+	obs, ct, finish, err := ObserveCLI("", os.Getenv("FG_TCP_TRACE"), "", clusterAddr, stallAfter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "observe: %v\n", err)
 		return 2
 	}
+	if telemetryIv > 0 && obs == nil {
+		// A rank with no observe flags of its own still needs a metrics
+		// registry when the plane is on, or its records would carry comm
+		// counters but no stage taxonomy.
+		obs = &fg.Observe{Metrics: fg.NewMetricsRegistry()}
+	}
 	pr.Observe = obs
+	if telemetryIv > 0 {
+		pr.Telemetry = cluster.TelemetryConfig{Interval: telemetryIv}
+		pr.OnTelemetry = ct.SetPlane
+	}
 
 	switch fault := os.Getenv("FG_TCP_FAULT"); fault {
 	case "":
@@ -135,19 +185,42 @@ func runTCPChild() int {
 		inner := obs.Watchdog.OnStall
 		obs.Watchdog.OnStall = func(rep fg.StallReport) {
 			inner(rep)
+			if telemetryIv > 0 {
+				// With the telemetry plane running, give the publisher a few
+				// intervals to ship the stall record to the aggregator before
+				// the abort tears the plane down — the cross-rank diagnosis
+				// is the point of the telemetry chaos test.
+				time.Sleep(20 * telemetryIv)
+			}
 			if c := cl.Load(); c != nil {
 				c.Abort()
 			}
-			os.Exit(childExitStall)
+			if telemetryIv <= 0 {
+				os.Exit(childExitStall)
+			}
+			// In telemetry mode the abort alone ends the run; the process
+			// stays alive through FG_TCP_LINGER so the parent can scrape the
+			// aggregator's retained fleet view.
 		}
 	}
 
 	_, err = pr.Run(Csort, workload.Uniform, 0)
-	if ferr := finish(err); ferr != nil && err == nil {
-		err = ferr
-	}
+	// FG_TCP_LINGER holds the process (and its fleet-view server) open after
+	// the run so the parent test can scrape the retained records. The error,
+	// if any, is reported before the linger so a hung parent can read it.
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "csort over tcp: %v\n", err)
+	}
+	if v := os.Getenv("FG_TCP_LINGER"); v != "" {
+		if d, perr := time.ParseDuration(v); perr == nil {
+			time.Sleep(d)
+		}
+	}
+	if ferr := finish(err); ferr != nil && err == nil {
+		err = ferr
+		fmt.Fprintf(os.Stderr, "csort over tcp: %v\n", err)
+	}
+	if err != nil {
 		return childExitRunError
 	}
 	return 0

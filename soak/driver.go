@@ -16,12 +16,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/fg-go/fg/cluster"
 )
 
 // Options parameterize a driver run.
@@ -112,12 +115,15 @@ func verdict(ok bool) string {
 	return "FAILED"
 }
 
-// workerProc is one spawned rank process.
+// workerProc is one spawned rank process. Both output buffers are
+// markWatches — locked writers — because the driver reads rank 0's stdout
+// mid-run to find the fleet-view address while the process is still
+// streaming into it.
 type workerProc struct {
 	rank   int
 	cmd    *exec.Cmd
-	stdout bytes.Buffer
-	stderr io.Writer // markWatch for rank 0, plain buffer otherwise
+	stdout *markWatch
+	stderr io.Writer // the supervisor watch for rank 0, plain otherwise
 	errBuf *markWatch
 }
 
@@ -167,14 +173,14 @@ func runTrial(s Scenario, opt Options, runDir string, trial int) (TrialReport, e
 		if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
 			return nil, err
 		}
-		p := &workerProc{rank: rank}
+		p := &workerProc{rank: rank, stdout: newMarkWatch("")}
 		exe, err := os.Executable()
 		if err != nil {
 			exe = os.Args[0]
 		}
 		p.cmd = exec.Command(exe, opt.WorkerArgs...)
 		p.cmd.Dir = trialDir
-		p.cmd.Stdout = &p.stdout
+		p.cmd.Stdout = p.stdout
 		if rank == 0 {
 			p.stderr = watch
 			p.errBuf = watch
@@ -211,6 +217,16 @@ func runTrial(s Scenario, opt Options, runDir string, trial int) (TrialReport, e
 		live[r] = p
 	}
 	defer func() { killAll(live) }()
+
+	// With telemetry in the plan, scrape rank 0's fleet view for the whole
+	// trial; the verdict below requires at least one scrape in which every
+	// rank reported fresh — "the fleet is visible" is part of what a
+	// telemetry-enabled scenario proves.
+	var probe *fleetProbe
+	if s.Telemetry != nil {
+		probe = startFleetProbe(s, live[0].stdout)
+		defer probe.stop()
+	}
 
 	// Driver-side kill schedule: kill-after faults fire by wall clock.
 	var timers []*time.Timer
@@ -283,13 +299,137 @@ func runTrial(s Scenario, opt Options, runDir string, trial int) (TrialReport, e
 			tr.Error = fmt.Sprintf("trial timed out after %v with %d/%d ranks unfinished",
 				s.Timeout(), s.Ranks-len(finalCode), s.Ranks)
 			killAll(live)
+			if probe != nil {
+				fleet := probe.stop()
+				tr.Fleet = &fleet
+			}
 			tr.WallMS = float64(time.Since(start)) / 1e6
 			return tr, nil
 		}
 	}
 	tr.WallMS = float64(time.Since(start)) / 1e6
 	tr.finish(finalCode)
+	if probe != nil {
+		fleet := probe.stop()
+		tr.Fleet = &fleet
+		fmt.Fprintf(opt.log(), "soak: %s trial %d fleet view: %d/%d scrapes saw every rank fresh (%s)\n",
+			s.Name, trial, fleet.Good, fleet.Samples, fleet.Bottleneck)
+		if fleet.Good == 0 && tr.OK {
+			// The job passed but the fleet was never fully visible: a
+			// telemetry regression, and exactly what this assertion is for.
+			tr.OK = false
+			tr.Error = fmt.Sprintf("telemetry: no fleet scrape ever showed every rank reporting fresh (%d scrapes, last diagnosis %q)",
+				fleet.Samples, fleet.Diagnosis)
+		}
+	}
 	return tr, nil
+}
+
+// fleetProbe scrapes rank 0's fleet view for the duration of one trial. It
+// first watches rank 0's stdout for the TelemetryPrefix line naming the
+// server address, then polls /cluster/status.json. A scrape is good when
+// every rank has reported, fresh, and none is declared dead — kill windows
+// and restarts naturally produce bad scrapes, so the trial assertion is
+// "at least one good scrape", not "all good".
+type fleetProbe struct {
+	ranks int
+	out   *markWatch
+	stopc chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	mu  sync.Mutex
+	rep FleetReport
+}
+
+func startFleetProbe(s Scenario, rank0Stdout *markWatch) *fleetProbe {
+	p := &fleetProbe{
+		ranks: s.Ranks,
+		out:   rank0Stdout,
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *fleetProbe) run() {
+	defer close(p.done)
+	var addr string
+	for addr == "" {
+		select {
+		case <-p.stopc:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		addr = telemetryAddr(p.out.String())
+	}
+	p.mu.Lock()
+	p.rep.Addr = addr
+	p.mu.Unlock()
+	client := &http.Client{Timeout: time.Second}
+	for {
+		select {
+		case <-p.stopc:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		st, err := scrapeFleet(client, addr)
+		if err != nil {
+			continue // between attempts, or before the first cluster: 503s
+		}
+		good := len(st.Ranks) == p.ranks
+		for _, rs := range st.Ranks {
+			if !rs.Reported || rs.Stale || rs.Dead {
+				good = false
+			}
+		}
+		p.mu.Lock()
+		p.rep.Samples++
+		if good {
+			p.rep.Good++
+			p.rep.Bottleneck = st.Bottleneck.String()
+		}
+		p.rep.Diagnosis = st.Diagnosis
+		p.mu.Unlock()
+	}
+}
+
+// stop ends the probe and returns the accumulated report; idempotent.
+func (p *fleetProbe) stop() FleetReport {
+	p.once.Do(func() { close(p.stopc) })
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rep
+}
+
+// telemetryAddr extracts the fleet-view address from rank 0's stdout, once
+// the full marker line (newline included) has streamed in.
+func telemetryAddr(out string) string {
+	i := strings.Index(out, TelemetryPrefix)
+	if i < 0 {
+		return ""
+	}
+	rest := out[i+len(TelemetryPrefix):]
+	j := strings.IndexByte(rest, '\n')
+	if j < 0 {
+		return ""
+	}
+	return strings.TrimSpace(rest[:j])
+}
+
+func scrapeFleet(client *http.Client, addr string) (cluster.ClusterStatus, error) {
+	var st cluster.ClusterStatus
+	resp, err := client.Get("http://" + addr + "/cluster/status.json")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("fleet view answered %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
 // parseWorkerResult extracts the FGSOAK_RESULT line from a finished

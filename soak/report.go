@@ -43,7 +43,22 @@ type TrialReport struct {
 	Bottleneck string   `json:"bottleneck,omitempty"`
 	Resumed    []string `json:"resumed,omitempty"`
 
+	// Fleet summarizes the driver's scrapes of rank 0's fleet view, present
+	// when the scenario arms telemetry.
+	Fleet *FleetReport `json:"fleet,omitempty"`
+
 	Workers []WorkerResult `json:"workers"`
+}
+
+// A FleetReport is the driver-side summary of one trial's fleet-view
+// scrapes: how many scrapes answered, how many showed every rank reporting
+// fresh, and the last cluster bottleneck and diagnosis observed.
+type FleetReport struct {
+	Addr       string   `json:"addr,omitempty"`
+	Samples    int      `json:"samples"`
+	Good       int      `json:"good"`
+	Bottleneck string   `json:"bottleneck,omitempty"`
+	Diagnosis  []string `json:"diagnosis,omitempty"`
 }
 
 // A RunReport is one scenario's full outcome.

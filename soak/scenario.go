@@ -84,6 +84,11 @@ type Scenario struct {
 	Heartbeat *HeartbeatSpec `json:"heartbeat,omitempty"`
 	// Disk overrides the simulated per-node disk model.
 	Disk *DiskSpec `json:"disk,omitempty"`
+	// Telemetry arms the cluster telemetry plane: every rank publishes its
+	// record each interval toward rank 0, whose process serves the fleet
+	// view the driver scrapes and asserts on (every live rank must show up
+	// fresh at least once per trial).
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
 
 	// Faults is the scheduled misfortune, applied in addition to the
 	// clean workload.
@@ -96,6 +101,14 @@ type HeartbeatSpec struct {
 	SuspectAfterMS int `json:"suspect_after_ms,omitempty"`
 	DeadAfterMS    int `json:"dead_after_ms,omitempty"`
 	StartupGraceMS int `json:"startup_grace_ms,omitempty"`
+}
+
+// TelemetrySpec mirrors cluster.TelemetryConfig in milliseconds. Rank 0 is
+// always the aggregator: it is the rank the driver watches and the one rank
+// a scenario may not kill.
+type TelemetrySpec struct {
+	IntervalMS   int `json:"interval_ms"`
+	StaleAfterMS int `json:"stale_after_ms,omitempty"`
 }
 
 // DiskSpec mirrors pdm.DiskModel.
@@ -237,6 +250,14 @@ func (s Scenario) Validate() error {
 	if d := s.Disk; d != nil {
 		if d.SeekLatencyUS < 0 || d.BytesPerSecond < 0 {
 			return fmt.Errorf("soak: scenario %s: negative disk model field", s.Name)
+		}
+	}
+	if tl := s.Telemetry; tl != nil {
+		if tl.IntervalMS <= 0 {
+			return fmt.Errorf("soak: scenario %s: telemetry interval must be positive", s.Name)
+		}
+		if tl.StaleAfterMS < 0 {
+			return fmt.Errorf("soak: scenario %s: negative telemetry stale_after_ms", s.Name)
 		}
 	}
 	for i, f := range s.Faults {

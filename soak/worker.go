@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/fg-go/fg/cluster"
+	"github.com/fg-go/fg/fg"
 	"github.com/fg-go/fg/internal/check"
 	"github.com/fg-go/fg/internal/faultinject"
 	"github.com/fg-go/fg/internal/harness"
@@ -35,6 +36,11 @@ const WorkerEnv = "FGSOAK_WORKER_CONFIG"
 
 // ResultPrefix tags the one stdout line a worker prints for the driver.
 const ResultPrefix = "FGSOAK_RESULT:"
+
+// TelemetryPrefix tags the stdout line rank 0 prints, as soon as its
+// fleet-view HTTP server is listening, with that server's address — the
+// driver scrapes /cluster/status.json there for the whole trial.
+const TelemetryPrefix = "FGSOAK_TELEMETRY:"
 
 // Worker exit codes, distinct from go test's own.
 const (
@@ -163,6 +169,28 @@ func runWorker(cfg WorkerConfig) int {
 			StartupGrace: time.Duration(h.StartupGraceMS) * time.Millisecond,
 		}
 	}
+	var ct *harness.ClusterTelemetry
+	if tl := s.Telemetry; tl != nil {
+		// Every rank publishes; the registry gives the records their stage
+		// taxonomy. Rank 0 — the aggregator, the one rank no scenario may
+		// kill — additionally serves the fleet view and tells the driver
+		// where to scrape it.
+		pr.Observe = &fg.Observe{Metrics: fg.NewMetricsRegistry()}
+		pr.Telemetry = cluster.TelemetryConfig{
+			Interval:   time.Duration(tl.IntervalMS) * time.Millisecond,
+			StaleAfter: time.Duration(tl.StaleAfterMS) * time.Millisecond,
+		}
+		if cfg.Rank == 0 {
+			served, err := harness.ServeClusterTelemetry("127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fgsoak worker: fleet view server: %v\n", err)
+				return ExitConfigError
+			}
+			ct = served
+			pr.OnTelemetry = ct.SetPlane
+			fmt.Printf("%s%s\n", TelemetryPrefix, ct.Addr())
+		}
+	}
 
 	res := WorkerResult{Rank: cfg.Rank, Attempts: 1}
 	var rmu sync.Mutex // guards res fields the death hook touches
@@ -208,6 +236,7 @@ func runWorker(cfg WorkerConfig) int {
 	}
 	run, err := pr.Run(harness.Program(s.Program), dist, s.Buffers)
 	faults.stop() // churn goroutines must be joined before the leak check
+	ct.Close()    // and so must the fleet-view server's accept loop
 
 	rmu.Lock()
 	res.OK = err == nil
