@@ -7,9 +7,11 @@
 // machine's cores.
 //
 // The pool is deliberately global and bounded: it holds GOMAXPROCS-1
-// long-lived workers, started lazily on first use and reused for every
-// kernel invocation thereafter, so a sort stage that runs thousands of
-// rounds never spawns per-round goroutines. Because every caller of Do
+// long-lived workers, started lazily on first use, resized whenever
+// GOMAXPROCS has moved since (a long-running server may raise it after the
+// first kernel call), and reused for every kernel invocation thereafter,
+// so a sort stage that runs thousands of rounds never spawns per-round
+// goroutines. Because every caller of Do
 // shares the same workers, concurrent stages — including replicas created
 // with fg.Stage.Replicate — divide the machine between them instead of
 // oversubscribing it: total kernel concurrency never exceeds the pool size
@@ -105,31 +107,71 @@ func (j *job) run(i int) {
 // its job pointer into the channel once per helper it could use. A worker
 // that picks up a job whose tasks are already exhausted returns to the
 // channel immediately, so stale wakeups are harmless.
+//
+// The pool used to be sized exactly once, at the first Do of the process's
+// life — a latent bug for long-running multi-network servers, where
+// GOMAXPROCS may be raised after a small early kernel call has already
+// frozen the pool at its initial size (and every network thereafter would
+// silently run its kernels nearly serial). Sizing is now re-checked on
+// every acquisition under a mutex: the pool grows to the current
+// GOMAXPROCS-1 when the target has risen, and oversized workers retire
+// themselves after finishing a job when it has fallen. Acquisition is safe
+// for any number of networks racing Do concurrently.
+const poolWakeCap = 256
+
 var (
-	poolOnce sync.Once
-	poolSize int
-	wake     chan *job
+	poolMu      sync.Mutex
+	poolWorkers int          // workers currently alive
+	poolTarget  atomic.Int64 // desired worker count; workers above it retire
+	wake        chan *job
 )
 
+// poolWorker serves jobs until the pool has shrunk past this worker.
+func poolWorker() {
+	for j := range wake {
+		j.help()
+		poolMu.Lock()
+		if int64(poolWorkers) > poolTarget.Load() {
+			poolWorkers--
+			poolMu.Unlock()
+			return
+		}
+		poolMu.Unlock()
+	}
+}
+
+// pool sizes the worker pool for the current GOMAXPROCS and returns its
+// size and wake channel. Safe for concurrent callers; cheap when the size
+// is already right (one mutex round trip).
 func pool() (int, chan *job) {
-	poolOnce.Do(func() {
-		poolSize = runtime.GOMAXPROCS(0) - 1
-		if poolSize < 1 {
-			// Even on a single-core machine keep one worker so tests (and
-			// the race detector) exercise real cross-goroutine execution
-			// when a width above 1 is requested explicitly.
-			poolSize = 1
-		}
-		wake = make(chan *job, poolSize)
-		for w := 0; w < poolSize; w++ {
-			go func() {
-				for j := range wake {
-					j.help()
-				}
-			}()
-		}
-	})
-	return poolSize, wake
+	target := runtime.GOMAXPROCS(0) - 1
+	if target < 1 {
+		// Even on a single-core machine keep one worker so tests (and
+		// the race detector) exercise real cross-goroutine execution
+		// when a width above 1 is requested explicitly.
+		target = 1
+	}
+	poolMu.Lock()
+	if wake == nil {
+		wake = make(chan *job, poolWakeCap)
+	}
+	poolTarget.Store(int64(target))
+	for poolWorkers < target {
+		poolWorkers++
+		go poolWorker()
+	}
+	size := poolWorkers
+	poolMu.Unlock()
+	return size, wake
+}
+
+// Workers reports the current size of the shared worker pool (0 before the
+// first Do that wanted helpers). Exposed so a long-running service can put
+// the pool's size next to its per-job metrics.
+func Workers() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolWorkers
 }
 
 // Do runs fn(i) for every i in [0, n) and returns when all calls have

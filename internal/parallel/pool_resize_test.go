@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolGrowsWithGOMAXPROCS is the regression test for the latent
+// sized-at-init bug: the first Do of a process's life used to freeze the
+// pool at GOMAXPROCS-1 workers forever, so a server that raised GOMAXPROCS
+// (or simply made its first tiny kernel call early, under a small test
+// setting) ran every later network's kernels nearly serial. The pool must
+// re-check its size on every acquisition.
+func TestPoolGrowsWithGOMAXPROCS(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skip("needs >= 4 CPUs to observe growth")
+	}
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	// Freeze-at-init trigger: size the pool while GOMAXPROCS is small.
+	Do(8, 2, func(int) {})
+
+	runtime.GOMAXPROCS(4)
+	// The barrier only releases once `want` tasks are inside fn at the same
+	// time; with a pool still frozen at 1 worker (GOMAXPROCS(2)-1), at most
+	// 2 goroutines can ever be inside and the barrier would time out.
+	const want = 4
+	var inside atomic.Int32
+	var max atomic.Int32
+	deadline := time.Now().Add(5 * time.Second)
+	Do(want, want, func(int) {
+		n := inside.Add(1)
+		defer inside.Add(-1)
+		for {
+			cur := max.Load()
+			if n <= cur || max.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+		for max.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if got := max.Load(); got < want {
+		t.Fatalf("observed at most %d concurrent tasks after raising GOMAXPROCS to 4; pool did not grow", got)
+	}
+	if w := Workers(); w < 3 {
+		t.Fatalf("Workers() = %d after GOMAXPROCS(4), want >= 3", w)
+	}
+}
+
+// TestPoolShrinksWhenGOMAXPROCSDrops drives the retirement path: after the
+// target falls, workers finishing a job excuse themselves until the pool
+// matches it again.
+func TestPoolShrinksWhenGOMAXPROCSDrops(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skip("needs >= 4 CPUs to observe shrink")
+	}
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	Do(16, 4, func(int) {})
+
+	runtime.GOMAXPROCS(2)
+	deadline := time.Now().Add(5 * time.Second)
+	for Workers() > 1 && time.Now().Before(deadline) {
+		// Each acquisition republishes the lower target; each job gives the
+		// surplus workers a retirement point.
+		Do(8, 2, func(int) {})
+		time.Sleep(time.Millisecond)
+	}
+	if w := Workers(); w > 1 {
+		t.Fatalf("Workers() = %d after GOMAXPROCS(2), want 1", w)
+	}
+}
+
+// TestConcurrentNetworksRacePoolAcquisition models the daemon's steady
+// state: many networks' stages hit the pool at once, from a cold pool, each
+// expecting its own tasks to complete exactly once — while GOMAXPROCS churns
+// underneath them. This is the "two networks racing pool acquisition"
+// regression test at the layer where the race lives.
+func TestConcurrentNetworksRacePoolAcquisition(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	const networks, rounds, tasks = 6, 20, 64
+	var wg sync.WaitGroup
+	fail := make(chan string, networks)
+	for nw := 0; nw < networks; nw++ {
+		wg.Add(1)
+		go func(nw int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if nw == 0 {
+					// One "network" flaps the target while the rest compute.
+					runtime.GOMAXPROCS(2 + r%3)
+				}
+				ran := make([]atomic.Int32, tasks)
+				Do(tasks, 4, func(i int) { ran[i].Add(1) })
+				for i := range ran {
+					if ran[i].Load() != 1 {
+						fail <- "a task ran a wrong number of times"
+						return
+					}
+				}
+			}
+		}(nw)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/fg-go/fg/internal/harness"
+)
+
+// TestAdmissionControlProperty is the quota law under random interleavings:
+// for any sequence of submits and cancels thrown at a daemon with
+// concurrency quota N and queue depth Q, (1) never do more than N jobs run
+// at once — measured independently of the daemon's own bookkeeping — and
+// (2) the admission ledger reconciles exactly: every submission is
+// accounted one way, and every accepted job ends in exactly one terminal
+// state.
+func TestAdmissionControlProperty(t *testing.T) {
+	const quota = 2
+	spec := JobSpec{
+		Program: "dsort", Nodes: 2, Records: 512,
+		Disk: &DiskSpec{SeekLatencyUS: 1, BytesPerSecond: 1e9},
+	}
+
+	prop := func(ops []byte) bool {
+		if len(ops) > 16 {
+			ops = ops[:16] // bound each iteration's wall clock
+		}
+		// Independent concurrency meter: every time a job enters its run,
+		// census how many jobs are in StateRunning at that instant. The
+		// census reads job state (maintained by the job lifecycle, not the
+		// server's ledger), so a server bug that ran jobs outside its
+		// runner crew — inline in Submit, an extra goroutine — would show
+		// up here no matter what the counters claim.
+		var (
+			meterMu  sync.Mutex
+			handles  []*Job
+			maxSeen  int
+			accepted []*Job
+		)
+		srv := New(Config{
+			MaxConcurrent: quota,
+			QueueDepth:    3,
+			Log:           io.Discard,
+			OnJobParams: func(id string, pr *harness.Params) {
+				meterMu.Lock()
+				running := 0
+				for _, j := range handles {
+					if j.State() == StateRunning {
+						running++
+					}
+				}
+				if running > maxSeen {
+					maxSeen = running
+				}
+				meterMu.Unlock()
+			},
+		})
+
+		var wg sync.WaitGroup
+		for _, op := range ops {
+			j, err := srv.Submit(spec)
+			if err != nil {
+				continue // rejected: the ledger must still account for it
+			}
+			meterMu.Lock()
+			handles = append(handles, j)
+			meterMu.Unlock()
+			accepted = append(accepted, j)
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				j.Wait()
+			}(j)
+			if op&1 == 1 {
+				srv.Cancel(j.ID)
+			}
+		}
+		wg.Wait()
+		_ = srv.Close()
+
+		if maxSeen > quota {
+			t.Logf("observed %d concurrent running jobs, quota %d", maxSeen, quota)
+			return false
+		}
+		st := srv.Status(false)
+		rejected := st.RejectedFull + st.RejectedQuota + st.RejectedInvalid + st.RejectedDraining
+		if st.Submitted != st.Accepted+rejected {
+			t.Logf("ledger: submitted %d != accepted %d + rejected %d", st.Submitted, st.Accepted, rejected)
+			return false
+		}
+		if st.Accepted != int64(len(accepted)) {
+			t.Logf("ledger: accepted %d, handed out %d job handles", st.Accepted, len(accepted))
+			return false
+		}
+		settled := st.Done + st.Failed + st.Cancelled
+		if settled != st.Accepted {
+			t.Logf("ledger: %d settled (done %d failed %d cancelled %d) != accepted %d",
+				settled, st.Done, st.Failed, st.Cancelled, st.Accepted)
+			return false
+		}
+		if st.Failed != 0 {
+			// Nothing in this workload should fail; a failure is a bug
+			// worth seeing, not quietly reconciling.
+			for _, j := range accepted {
+				if j.State() == StateFailed {
+					t.Logf("job %s failed: %v", j.ID, j.Err())
+				}
+			}
+			return false
+		}
+		for _, j := range accepted {
+			if !j.State().Terminal() {
+				t.Logf("job %s left %s after close", j.ID, j.State())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelWinsRaces pins the classification rule: a job cancelled at any
+// point — before running, mid-run, racing its own completion — never reads
+// as failed, and a cancel-caused abort error never escapes as a plain
+// error. Rapid-fire edition: many tiny jobs, cancelled at random delays.
+func TestCancelWinsRaces(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 4, QueueDepth: 8, Log: io.Discard})
+	defer srv.Close()
+	spec := JobSpec{
+		Program: "dsort", Nodes: 2, Records: 512,
+		Disk: &DiskSpec{SeekLatencyUS: 1, BytesPerSecond: 1e9},
+	}
+	for i := 0; i < 24; i++ {
+		j, err := srv.Submit(spec)
+		if err != nil {
+			continue
+		}
+		if i%3 != 0 {
+			go srv.Cancel(j.ID)
+		}
+		j.Wait()
+		switch j.State() {
+		case StateDone, StateCancelled:
+		case StateFailed:
+			t.Fatalf("job %s classified failed: %v", j.ID, j.Err())
+		default:
+			t.Fatalf("job %s settled in %s", j.ID, j.State())
+		}
+		if j.State() == StateCancelled {
+			if err := j.Err(); err == nil || !strings.Contains(err.Error(), "cancelled") {
+				t.Fatalf("cancelled job %s carries error %v", j.ID, err)
+			}
+		}
+	}
+}
