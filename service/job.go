@@ -62,6 +62,7 @@ type Job struct {
 	finished    time.Time
 	cancelAsked bool
 	cancelWhy   string
+	timedOut    bool // the wall-clock timer fired; never retried past it
 	cluster     *cluster.Cluster // current attempt's cluster, while running
 	observe     *fg.Observe      // per-job metrics registry + flight recorder
 	result      oocsort.Result
@@ -152,19 +153,32 @@ func (j *Job) markRunning(now time.Time) bool {
 }
 
 // attachCluster publishes the current attempt's cluster for cancellation
-// and returns false if cancellation already arrived — the runner then
-// aborts the fresh cluster itself rather than sorting on it.
-func (j *Job) attachCluster(c *cluster.Cluster) bool {
+// and timeout aborts. If either already arrived — between attempts, or
+// before the first cluster existed — it returns the abort cause; the
+// runner then aborts the fresh cluster itself rather than sorting on it.
+func (j *Job) attachCluster(c *cluster.Cluster) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cluster = c
-	return !j.cancelAsked
+	switch {
+	case j.cancelAsked:
+		return errCancelled
+	case j.timedOut:
+		return errTimeout
+	}
+	return nil
 }
 
-// timeoutAbort aborts the current cluster with the timeout cause; the run
-// fails with a CommError wrapping errTimeout, which finish classifies.
+// timeoutAbort marks the job timed out and aborts the current cluster with
+// the timeout cause; the run fails with a CommError wrapping errTimeout,
+// which finish classifies. The flag outlives the one-shot timer: the
+// supervisor refuses to retry a timed-out job (the timer is not re-armed,
+// so a retry would run with no wall-clock bound), and a firing that lands
+// between attempts (no live cluster) still kills the next attempt via
+// attachCluster.
 func (j *Job) timeoutAbort() {
 	j.mu.Lock()
+	j.timedOut = true
 	c := j.cluster
 	j.mu.Unlock()
 	if c != nil {
@@ -172,14 +186,24 @@ func (j *Job) timeoutAbort() {
 	}
 }
 
+// hitTimeout reports whether the job's wall-clock timer has fired.
+func (j *Job) hitTimeout() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.timedOut
+}
+
 // finish settles the job from its run outcome, classifying cancellation
 // ahead of everything else: a cancel that raced a failure (the abort it
-// caused) still reads as cancelled. Idempotent via the state check.
-func (j *Job) finish(res oocsort.Result, err error, now time.Time) {
+// caused) still reads as cancelled. It reports, from under j.mu, whether
+// this call performed the non-terminal → terminal transition — false means
+// a racing settle path got there first and the caller must not account for
+// the job again.
+func (j *Job) finish(res oocsort.Result, err error, now time.Time) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.cluster = nil
 	j.finished = now
@@ -196,15 +220,17 @@ func (j *Job) finish(res oocsort.Result, err error, now time.Time) {
 	}
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // settleCancelled settles a job that never ran: cancelled while queued, or
-// rejected by a drain.
-func (j *Job) settleCancelled(why string, now time.Time) {
+// rejected by a drain. Like finish, it reports whether this call performed
+// the terminal transition.
+func (j *Job) settleCancelled(why string, now time.Time) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	j.cancelAsked = true
 	if j.cancelWhy == "" {
@@ -215,6 +241,7 @@ func (j *Job) settleCancelled(why string, now time.Time) {
 	j.finished = now
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // setObserve publishes the job's observability bundle (metrics registry +

@@ -237,23 +237,24 @@ func (s *Server) Cancel(id string) bool {
 	queued := j.state == StateQueued
 	j.mu.Unlock()
 	if queued {
-		s.settle(j, func() { j.settleCancelled("cancelled by client", time.Now()) })
+		s.settle(j, func() bool { return j.settleCancelled("cancelled by client", time.Now()) })
 	}
 	return true
 }
 
-// settle runs one of the job's settle paths and, if it actually reached a
-// terminal state now, updates the ledger. Every terminal transition funnels
-// through here exactly once (the job's own settle methods are idempotent,
-// so the double-settle races — client cancel vs. drain vs. runner — are
-// resolved by whoever closes done first).
-func (s *Server) settle(j *Job, doSettle func()) {
-	was := j.State()
-	doSettle()
-	now := j.State()
-	if was.Terminal() || !now.Terminal() {
+// settle runs one of the job's settle paths and, if that call performed
+// the non-terminal → terminal transition, updates the ledger and releases
+// the job's slot in the active WaitGroup. The settle methods report the
+// transition from under j.mu, so of the racing settle paths — client
+// cancel vs. drain vs. runner — exactly one observes true and the ledger
+// count and active.Done() happen exactly once per accepted job. (Comparing
+// j.State() before and after here instead would let two racers both see
+// the transition: double counts and a negative-WaitGroup panic.)
+func (s *Server) settle(j *Job, doSettle func() bool) {
+	if !doSettle() {
 		return
 	}
+	now := j.State() // terminal states are immutable; safe to read after
 	s.mu.Lock()
 	switch now {
 	case StateDone:
@@ -294,11 +295,11 @@ func (s *Server) runJob(j *Job) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		s.settle(j, func() { j.settleCancelled("daemon draining", time.Now()) })
+		s.settle(j, func() bool { return j.settleCancelled("daemon draining", time.Now()) })
 		return
 	}
 	if !j.markRunning(time.Now()) {
-		s.settle(j, func() { j.settleCancelled("cancelled before start", time.Now()) })
+		s.settle(j, func() bool { return j.settleCancelled("cancelled before start", time.Now()) })
 		return
 	}
 
@@ -323,7 +324,7 @@ func (s *Server) runJob(j *Job) {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job runner panicked: %v", r)
 		}
-		s.settle(j, func() { j.finish(res, err, time.Now()) })
+		s.settle(j, func() bool { return j.finish(res, err, time.Now()) })
 	}()
 
 	pr, cleanup, perr := s.params(j)
@@ -357,7 +358,11 @@ func (s *Server) runJob(j *Job) {
 		rep := supervise.Run(supervise.Job{Name: j.ID, Run: run}, supervise.Policy{
 			MaxAttempts: attempts,
 			Retryable: func(e error) bool {
-				return !j.cancelRequested() && supervise.DefaultRetryable(e)
+				// A cancelled job's abort must not be "cured" by a retry, and
+				// neither may a timeout's: the one-shot timer spans every
+				// attempt and is never re-armed, so retrying past it would
+				// run with no wall-clock bound at all.
+				return !j.cancelRequested() && !j.hitTimeout() && supervise.DefaultRetryable(e)
 			},
 			Log: s.cfg.Log,
 		})
@@ -410,10 +415,11 @@ func (s *Server) params(j *Job) (harness.Params, func(), error) {
 		if fault != nil {
 			fault(c)
 		}
-		if !j.attachCluster(c) {
-			// Cancellation arrived between attempts (or before the first
-			// cluster existed); kill this attempt before it sorts.
-			c.AbortWith(errCancelled)
+		if cause := j.attachCluster(c); cause != nil {
+			// Cancellation or the timeout arrived between attempts (or
+			// before the first cluster existed); kill this attempt before
+			// it sorts.
+			c.AbortWith(cause)
 		}
 	}
 
@@ -517,7 +523,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			// happens after a completed drain.
 			break
 		}
-		s.settle(j, func() { j.settleCancelled("daemon draining", time.Now()) })
+		s.settle(j, func() bool { return j.settleCancelled("daemon draining", time.Now()) })
 	}
 	settled := make(chan struct{})
 	go func() {

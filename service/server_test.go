@@ -17,6 +17,7 @@ import (
 	"github.com/fg-go/fg/cluster"
 	"github.com/fg-go/fg/internal/check"
 	"github.com/fg-go/fg/internal/harness"
+	"github.com/fg-go/fg/oocsort"
 )
 
 // fastSpec is a small, quick job: 2 nodes, 4096 records, near-free disk.
@@ -387,6 +388,125 @@ func TestGracefulDrain(t *testing.T) {
 	_ = d.srv.Close()
 	if leaked := check.LeakedGoroutines(10 * time.Second); len(leaked) > 0 {
 		t.Fatalf("drain leaked %d goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// registerAcceptedJob mimics Submit's bookkeeping for a hand-built job so
+// settle-path tests can drive Server.settle without a runner in the way.
+func registerAcceptedJob(s *Server, j *Job) {
+	s.mu.Lock()
+	s.ctr.submitted++
+	s.ctr.accepted++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	s.active.Add(1)
+}
+
+// TestConcurrentSettleCountsOnce drives the double-settle race: a client
+// Cancel of a queued job and the runner that just dequeued it both reach
+// Server.settle, and exactly one may update the ledger and release the
+// job's active-WaitGroup slot (a double release is an immediate
+// negative-WaitGroup panic, and a double count corrupts Drain accounting).
+//
+// The first job forces the precise losing schedule deterministically: the
+// cancel path enters settle first, and the runner's entire settle —
+// transition, count, release — is interleaved before the cancel's own
+// settle method runs. A settle that decides "did I transition?" by
+// comparing the job state before and after (rather than from under j.mu,
+// inside the transition) sees non-terminal → terminal on both paths and
+// releases twice. The storm rounds then shake the same invariant under
+// the race detector with unconstrained schedules.
+func TestConcurrentSettleCountsOnce(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, Log: io.Discard})
+	defer s.Close()
+
+	j := newJob("j-race-det", JobSpec{Program: "dsort", Nodes: 2, Records: 4096}, time.Now())
+	registerAcceptedJob(s, j)
+	cancelEntered := make(chan struct{})
+	runnerSettled := make(chan struct{})
+	cancelReturned := make(chan struct{})
+	go func() {
+		defer close(cancelReturned)
+		// The cancel path: by the time its settle method runs, the runner
+		// has already settled, counted, and released the job.
+		s.settle(j, func() bool {
+			close(cancelEntered)
+			<-runnerSettled
+			return j.settleCancelled("cancelled by client", time.Now())
+		})
+	}()
+	<-cancelEntered
+	s.settle(j, func() bool { return j.finish(oocsort.Result{}, nil, time.Now()) })
+	close(runnerSettled)
+	<-cancelReturned
+	if st := s.Status(false); st.Done != 1 || st.Cancelled != 0 {
+		t.Fatalf("racing settles counted done=%d cancelled=%d, want exactly one done", st.Done, st.Cancelled)
+	}
+
+	const rounds = 200
+	for round := 0; round < rounds; round++ {
+		j := newJob(fmt.Sprintf("j-race-%03d", round),
+			JobSpec{Program: "dsort", Nodes: 2, Records: 4096}, time.Now())
+		registerAcceptedJob(s, j)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				if i%2 == 0 {
+					s.settle(j, func() bool { return j.settleCancelled("cancelled by client", time.Now()) })
+				} else {
+					s.settle(j, func() bool { return j.finish(oocsort.Result{}, nil, time.Now()) })
+				}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		if st := j.State(); !st.Terminal() {
+			t.Fatalf("round %d: job settled to non-terminal %s", round, st)
+		}
+	}
+
+	st := s.Status(false)
+	if total := st.Done + st.Cancelled; total != rounds+1 {
+		t.Fatalf("ledger counted %d done + %d cancelled = %d terminal jobs, want exactly %d",
+			st.Done, st.Cancelled, total, rounds+1)
+	}
+	// Close (via the deferred call) would hang or panic if active were
+	// over- or under-released; draining here makes that failure eager.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after settle storm: %v", err)
+	}
+}
+
+// TestTimeoutNotRetried holds the wall-clock quota across supervised
+// attempts: the job timer is a one-shot spanning every attempt, so a
+// timed-out job with attempt budget left must fail with the timeout
+// rather than retry — a retry would run with the timer already spent and
+// no wall-clock bound at all.
+func TestTimeoutNotRetried(t *testing.T) {
+	check.NoLeakedGoroutines(t)
+	d := startDaemon(t, Config{MaxConcurrent: 1, Log: io.Discard})
+	// Several seconds of simulated I/O against a 1-second timeout, with an
+	// attempt budget the supervisor must refuse to spend.
+	id := d.submit(t, `{"name":"laggard","program":"dsort","nodes":2,"records":262144,
+		"disk":{"seek_latency_us":100,"bytes_per_second":2e6},
+		"timeout_sec":1,"max_attempts":3}`)
+
+	st := d.waitTerminal(t, id, 30*time.Second)
+	if st.State != string(StateFailed) {
+		t.Fatalf("timed-out job finished %s (err %q), want failed", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "timed out") {
+		t.Fatalf("error %q does not name the timeout", st.Error)
+	}
+	if len(st.Attempts) != 1 {
+		t.Fatalf("timed-out job ran %d attempts, want 1: the spent timer must not be outlived by a retry", len(st.Attempts))
 	}
 }
 
